@@ -1,0 +1,43 @@
+"""Ablation: DS capture on/off.
+
+The paper enables capture "to ensure that BSMA in [20] works as designed"
+(Section 7).  This ablation quantifies how load-bearing that choice is:
+without capture, BSMA's simultaneous CTS replies always collide and its
+delivery rate collapses, while BMMM (serialized CTS) barely moves.
+"""
+
+from statistics import mean
+
+from repro.experiments.config import protocol_class
+from repro.experiments.runner import run_raw
+
+from conftest import bench_settings, n_runs
+
+
+def _rates(capture: bool) -> dict[str, float]:
+    settings = bench_settings(capture=capture)
+    out = {}
+    for proto in ("BSMA", "BMMM"):
+        mac_cls, kwargs = protocol_class(proto)
+        out[proto] = mean(
+            run_raw(mac_cls, settings, seed, kwargs).metrics().delivery_rate
+            for seed in range(n_runs())
+        )
+    return out
+
+
+def test_capture_ablation(benchmark):
+    with_capture = benchmark.pedantic(_rates, args=(True,), rounds=1, iterations=1)
+    without = _rates(False)
+    print()
+    print("== ablation: DS capture ==")
+    print(f"{'protocol':<10}{'capture ON':>12}{'capture OFF':>13}")
+    for proto in ("BSMA", "BMMM"):
+        print(f"{proto:<10}{with_capture[proto]:>12.3f}{without[proto]:>13.3f}")
+    print("expected: BSMA depends on capture; BMMM does not")
+
+    # BSMA suffers much more from losing capture than BMMM does.
+    bsma_loss = with_capture["BSMA"] - without["BSMA"]
+    bmmm_loss = with_capture["BMMM"] - without["BMMM"]
+    assert bsma_loss > bmmm_loss
+    assert without["BMMM"] > without["BSMA"]

@@ -1,0 +1,40 @@
+"""Ablation: contention-window sensitivity.
+
+The paper does not publish its backoff constants (DESIGN.md substitution
+#5).  This ablation sweeps CW_min and shows the headline ordering
+(BMMM over BMW) is robust to the choice.
+"""
+
+from statistics import mean
+
+from repro.experiments.config import protocol_class
+from repro.experiments.runner import run_raw
+from repro.mac.contention import ContentionParams
+
+from conftest import bench_settings, n_runs
+
+
+def _sweep():
+    out = {}
+    for cw in (8, 16, 64):
+        settings = bench_settings(contention=ContentionParams(cw_min=cw, cw_max=256))
+        for proto in ("BMMM", "BMW"):
+            mac_cls, kwargs = protocol_class(proto)
+            out[(cw, proto)] = mean(
+                run_raw(mac_cls, settings, seed, kwargs).metrics().delivery_rate
+                for seed in range(n_runs())
+            )
+    return out
+
+
+def test_cw_ablation(benchmark):
+    rates = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    print("== ablation: contention window (delivery rate) ==")
+    print(f"{'CW_min':<8}{'BMMM':>8}{'BMW':>8}")
+    for cw in (8, 16, 64):
+        print(f"{cw:<8}{rates[(cw, 'BMMM')]:>8.3f}{rates[(cw, 'BMW')]:>8.3f}")
+    print("expected: BMMM > BMW at every CW_min")
+
+    for cw in (8, 16, 64):
+        assert rates[(cw, "BMMM")] > rates[(cw, "BMW")]

@@ -1,0 +1,28 @@
+"""Figure 2: BMW vs BMMM medium time for one collision-free multicast."""
+
+from repro.core.batch import batch_round_airtime
+from repro.experiments.figures import figure2
+from repro.experiments.report import save_json
+
+from conftest import RESULTS_DIR
+
+
+def test_figure2(benchmark):
+    n = 4
+    result = benchmark.pedantic(figure2, args=(n,), rounds=1, iterations=1)
+    bmw, bmmm = result.series["BMW"][0], result.series["BMMM"][0]
+    print()
+    print(f"== figure2: one clean {n}-receiver multicast ==")
+    print(f"BMW : {bmw:.0f} slots   frames: {result.meta['frame_counts']['BMW']}")
+    print(f"BMMM: {bmmm:.0f} slots   frames: {result.meta['frame_counts']['BMMM']}")
+    print("paper shape: BMW pays one contention phase per receiver; BMMM one total")
+    print("saved:", save_json(result, RESULTS_DIR))
+
+    assert bmmm < bmw
+    counts = result.meta["frame_counts"]["BMMM"]
+    assert counts["RTS"] == n and counts["CTS"] == n
+    assert counts["RAK"] == n and counts["ACK"] == n and counts["DATA"] == 1
+    # The BMMM on-air exchange is exactly the closed-form batch airtime.
+    timeline = result.meta["timeline"]["BMMM"]
+    busy = max(t[1] for t in timeline) - min(t[0] for t in timeline)
+    assert busy == batch_round_airtime(n)

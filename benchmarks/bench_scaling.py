@@ -1,0 +1,47 @@
+"""Simulator performance scaling (engineering benchmark, not a paper
+figure).
+
+The event-driven design should scale roughly with offered traffic (events)
+rather than with nodes x slots; these benchmarks pin the throughput of the
+substrate so performance regressions in the kernel/channel show up in CI.
+"""
+
+import pytest
+
+from repro.core.bmmm import BmmmMac
+from repro.experiments.config import SimulationSettings
+from repro.experiments.runner import run_raw
+
+
+@pytest.mark.parametrize("n_nodes", [25, 50, 100])
+def test_simulation_throughput(benchmark, n_nodes):
+    settings = SimulationSettings(n_nodes=n_nodes, horizon=2000)
+
+    def run():
+        return run_raw(BmmmMac, settings, seed=0)
+
+    raw = benchmark.pedantic(run, rounds=3, iterations=1)
+    # Sanity: the run actually simulated traffic.
+    assert raw.requests
+
+
+def test_idle_network_is_cheap(benchmark):
+    """Zero traffic -> near-zero events: the kernel must not busy-poll."""
+    settings = SimulationSettings(n_nodes=100, horizon=10_000, message_rate=0.0)
+
+    def run():
+        return run_raw(BmmmMac, settings, seed=0)
+
+    raw = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert not raw.requests
+
+
+def test_dense_traffic_run(benchmark):
+    """The heavy corner of the sweeps (4x rate)."""
+    settings = SimulationSettings(n_nodes=100, horizon=2000, message_rate=0.002)
+
+    def run():
+        return run_raw(BmmmMac, settings, seed=0)
+
+    raw = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(raw.requests) > 100

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Emergency-report flooding: reliable vs unreliable MAC multicast.
+
+The paper's introduction motivates reliable MAC multicast with
+"emergency reporting".  This example floods an alarm from a sensor in one
+corner of the field across a multi-hop network under background unicast
+chatter: every node rebroadcasts the alarm once, the first time it decodes
+it.
+
+Three metrics per MAC:
+
+* **reach** -- fraction of nodes informed at all;
+* **latency** -- slot the last node was informed;
+* **per-hop delivery** -- mean fraction of each relay's neighbors that
+  decoded that relay's *own* rebroadcast.
+
+The per-hop column is where the stock 802.11 multicast visibly loses
+frames (hidden-terminal collisions, no recovery).  Reach often stays high
+anyway -- flooding's path redundancy papers over MAC losses, which is
+precisely why protocols relying on *single* transmissions (routing RREQs,
+see aodv_route_discovery.py) need the MAC-level reliability the paper
+provides.  BMMM drives per-hop delivery to ~100% at a latency cost.
+
+Run:  python examples/emergency_alarm_flood.py
+"""
+
+from statistics import mean
+
+from repro import BmmmMac, MessageKind, Network, PlainMulticastMac, uniform_square
+from repro.sim.frames import FrameType
+from repro.workload.generator import TrafficGenerator, TrafficMix
+
+N_NODES = 80
+#: Sparse radius: few redundant paths (mean degree ~4).
+RADIUS = 0.13
+HORIZON = 4_000
+SEEDS = range(5)
+#: Background unicast chatter competing with the flood.
+BACKGROUND_RATE = 0.01
+
+
+def flood(mac_cls, seed: int):
+    """Flood one alarm from node 0.
+
+    Returns (reach fraction, last-informed slot, per-hop delivery ratio).
+    """
+    positions = uniform_square(N_NODES, seed=seed)
+    net = Network(positions, RADIUS, mac_cls, seed=seed)
+    TrafficGenerator(
+        N_NODES,
+        net.propagation.neighbors,
+        horizon=HORIZON,
+        message_rate=BACKGROUND_RATE,
+        mix=TrafficMix(unicast=1.0, multicast=0.0, broadcast=0.0),
+        seed=seed,
+    ).inject(net)
+
+    informed: dict[int, float] = {0: 0.0}  # node -> slot it learned the alarm
+    relay_reqs = []
+
+    def make_relay(node_id: int):
+        def on_frame(frame, clean):
+            if frame.ftype is not FrameType.DATA or node_id in informed:
+                return
+            informed[node_id] = net.env.now
+            mac = net.mac(node_id)
+            if mac.neighbors:
+                relay_reqs.append(mac.submit(MessageKind.BROADCAST, timeout=400))
+
+        return on_frame
+
+    for i in range(1, N_NODES):
+        net.mac(i).radio.add_listener(make_relay(i))
+
+    if not net.mac(0).neighbors:
+        return 1 / N_NODES, 0.0, 1.0
+    relay_reqs.append(net.mac(0).submit(MessageKind.BROADCAST, timeout=400))
+    net.run(until=HORIZON)
+
+    per_hop = []
+    for req in relay_reqs:
+        got = net.channel.stats.data_receipts.get(req.msg_id, set())
+        per_hop.append(len(got & req.dests) / len(req.dests))
+    return len(informed) / N_NODES, max(informed.values()), mean(per_hop)
+
+
+def main() -> None:
+    print(
+        f"flooding an alarm through {N_NODES} sparse nodes "
+        f"(background unicast rate {BACKGROUND_RATE}/node/slot), "
+        f"{len(list(SEEDS))} seeds\n"
+    )
+    print(f"{'MAC':<10}{'mean reach':>12}{'mean latency':>14}{'per-hop delivery':>18}")
+    per_hop_by_mac = {}
+    for mac_cls in (PlainMulticastMac, BmmmMac):
+        outcomes = [flood(mac_cls, s) for s in SEEDS]
+        per_hop_by_mac[mac_cls.name] = mean(o[2] for o in outcomes)
+        print(
+            f"{mac_cls.name:<10}{mean(o[0] for o in outcomes):>12.2%}"
+            f"{mean(o[1] for o in outcomes):>14.0f}"
+            f"{per_hop_by_mac[mac_cls.name]:>18.2%}"
+        )
+
+    print(
+        "\nFlood redundancy hides 802.11's per-hop losses in the reach column;"
+        "\nthe per-hop column shows the MAC-level unreliability BMMM removes."
+    )
+    assert per_hop_by_mac["BMMM"] > per_hop_by_mac["802.11"]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""A moving ad-hoc network: beacons, staleness, and reliable multicast.
+
+The paper's evaluation is static, but its motivating upper layers (DSR,
+AODV routing) exist because nodes move.  This example runs LAMM with
+locations learned from real beacon exchanges (not the simulator's oracle)
+while every node wanders under random-waypoint mobility, and reports how
+delivery and LAMM's geometric machinery hold up as speed increases.
+
+Run:  python examples/mobile_network.py
+"""
+
+from repro import LammMac, MessageKind
+from repro.mac.beacons import BeaconConfig
+from repro.metrics.aggregate import summarize_run
+from repro.sim.network import Network
+from repro.workload.generator import TrafficGenerator
+from repro.workload.mobility import RandomWaypointMobility
+from repro.workload.topology import uniform_square
+
+N_NODES = 50
+HORIZON = 5_000
+SPEEDS = (0.0, 0.0002, 0.0008)  # units/slot (radius = 0.2)
+
+
+def run(speed: float, seed: int = 0):
+    net = Network(
+        uniform_square(N_NODES, seed=seed),
+        radius=0.2,
+        mac_cls=LammMac,
+        seed=seed,
+        mac_kwargs={"location_source": "beacons"},
+        beacons=BeaconConfig(period=100, jitter=10, lifetime=350),
+    )
+    RandomWaypointMobility(net, speed=speed, epoch=25, seed=seed)
+    gen = TrafficGenerator(N_NODES, net.propagation.neighbors, HORIZON, 0.001, seed=seed)
+    reqs = gen.inject(net)
+    net.run(until=HORIZON)
+
+    m = summarize_run(reqs, net.channel.stats, threshold=0.9)
+    inferred = sum(len(r.inferred) for r in reqs)
+    wrong = sum(
+        len(r.inferred - net.channel.stats.data_receipts.get(r.msg_id, set()))
+        for r in reqs
+    )
+    stale = sum(
+        1
+        for svc in net.beacon_services
+        for nbr in svc.table.neighbors()
+        if nbr not in net.propagation.neighbors[svc.mac.node_id]
+    )
+    return m, inferred, wrong, stale
+
+
+def main() -> None:
+    print(
+        f"{N_NODES} nodes under random-waypoint mobility, LAMM with "
+        f"beacon-learned locations ({HORIZON} slots)\n"
+    )
+    print(
+        f"{'speed':<9}{'delivery':>9}{'avg time':>10}"
+        f"{'inferred':>10}{'wrong':>7}{'stale entries':>15}"
+    )
+    for speed in SPEEDS:
+        m, inferred, wrong, stale = run(speed)
+        print(
+            f"{speed:<9}{m.delivery_rate:>9.3f}{m.avg_completion_time:>10.1f}"
+            f"{inferred:>10}{wrong:>7}{stale:>15}"
+        )
+    print(
+        "\nMovement costs delivery through neighbor churn (members drift out"
+        "\nof range mid-service), while the coverage inference stays sound:"
+        "\nat pedestrian speeds an epoch's displacement is tiny next to the"
+        "\nradius, and the beacon tables expire the genuinely stale entries."
+    )
+
+
+if __name__ == "__main__":
+    main()

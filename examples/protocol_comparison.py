@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Head-to-head protocol comparison at the paper's operating point.
+
+Runs all six protocols (the four the paper simulates plus plain 802.11
+multicast and Tang-Gerla) on identical Table-2 workloads and prints the
+Section 7 metrics.  A compact, scripted version of Figures 6/9/10 at a
+single operating point.
+
+Run:  python examples/protocol_comparison.py [n_seeds]
+"""
+
+import sys
+
+from repro import SimulationSettings
+from repro.experiments.config import PROTOCOLS
+from repro.experiments.runner import run_protocol
+
+
+def main() -> None:
+    n_seeds = int(sys.argv[1]) if len(sys.argv) > 1 else 2
+    # Table 2 defaults, shortened horizon so the demo stays snappy.
+    settings = SimulationSettings(horizon=4000)
+    print(
+        f"{settings.n_nodes} nodes, radius {settings.radius}, "
+        f"{settings.horizon} slots, rate {settings.message_rate}/node/slot, "
+        f"threshold {settings.threshold:.0%}, mean of {n_seeds} seeds\n"
+    )
+    header = (
+        f"{'protocol':<11}{'delivery':>10}{'contention':>12}"
+        f"{'completion':>12}{'runs':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+    results = {}
+    for name in PROTOCOLS:
+        mm = run_protocol(name, settings, seeds=range(n_seeds))
+        results[name] = mm
+        print(
+            f"{name:<11}{mm.delivery_rate:>10.3f}{mm.avg_contention_phases:>12.2f}"
+            f"{mm.avg_completion_time:>12.1f}{mm.n_runs:>6}"
+        )
+
+    print(
+        "\n(delivery = successful delivery rate; contention = mean contention"
+        "\nphases per group message; completion = mean slots, completed only)"
+        "\n\nNote the operating point: at Table 2's light load and 90% threshold"
+        "\nthe unreliable protocols (802.11, LACS, LBP) look strong -- most"
+        "\nbroadcasts reach 90% of receivers anyway and nothing times out."
+        "\nRaise the rate (see figure6b) or the threshold to 100% (figure8)"
+        "\nand only the ACK-complete protocols (BMMM/LAMM/BMW) stay flat."
+    )
+    # The paper's conclusions, asserted:
+    assert results["LAMM"].delivery_rate >= results["BSMA"].delivery_rate
+    assert results["BMMM"].delivery_rate >= results["BMW"].delivery_rate
+    assert results["BMW"].avg_contention_phases > results["BMMM"].avg_contention_phases
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Closed-form analysis from Section 6 (Table 1 and Figure 5)."""
+
+from repro.analysis.contention import (
+    bmmm_phases_before_data,
+    lamm_phases_before_data,
+    bmw_phases_before_data,
+    bsma_phases_before_data,
+    table1_row,
+)
+from repro.analysis.recurrence import (
+    expected_batch_rounds,
+    bmw_expected_phases,
+    figure5_series,
+)
+from repro.analysis.timing import (
+    expected_contention_cost,
+    bmw_multicast_time,
+    bmmm_multicast_time,
+    lamm_multicast_time,
+    figure2_times,
+)
+from repro.analysis.saturation import (
+    max_batch_receivers,
+    max_bmw_receivers,
+    retry_headroom,
+    saturation_report,
+)
+from repro.analysis.validation import (
+    fit_round_success,
+    observed_phases_by_group_size,
+    phase_model_error,
+)
+
+__all__ = [
+    "fit_round_success",
+    "observed_phases_by_group_size",
+    "phase_model_error",
+    "max_batch_receivers",
+    "max_bmw_receivers",
+    "retry_headroom",
+    "saturation_report",
+    "expected_contention_cost",
+    "bmw_multicast_time",
+    "bmmm_multicast_time",
+    "lamm_multicast_time",
+    "figure2_times",
+    "bmmm_phases_before_data",
+    "lamm_phases_before_data",
+    "bmw_phases_before_data",
+    "bsma_phases_before_data",
+    "table1_row",
+    "expected_batch_rounds",
+    "bmw_expected_phases",
+    "figure5_series",
+]

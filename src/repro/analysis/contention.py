@@ -1,0 +1,98 @@
+"""Expected contention phases *before the sender sends data* (Table 1).
+
+Section 6 model: after an RTS round, the sender retries (one more
+contention phase) until it hears at least one CTS.  With ``q`` the
+probability that a *given* receiver's CTS fails to arrive for any of the
+four non-collision reasons (RTS error, RTS collision, receiver yielding,
+CTS error), the per-round probability ``p`` of hearing at least one CTS is
+
+* BMMM:  ``1 - q**n``      (n receivers are polled one at a time);
+* LAMM:  ``1 - q**len(S')``  (only the cover set is polled);
+* BMW:   ``1 - q``         (one receiver per round);
+* BSMA:  all receivers answer *simultaneously*, so CTS frames collide and
+  only capture can save the strongest:
+  ``p = sum_k C(n,k) (1-q)**k q**(n-k) * C_k`` with ``C_k`` the Zorzi-Rao
+  capture probability.
+
+The expected number of contention phases is the geometric mean time
+``1/p`` in every case.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.phy.capture import CaptureModel, ZorziRaoCapture
+
+__all__ = [
+    "bmmm_phases_before_data",
+    "lamm_phases_before_data",
+    "bmw_phases_before_data",
+    "bsma_phases_before_data",
+    "table1_row",
+]
+
+
+def _check_q(q: float) -> None:
+    if not 0.0 <= q < 1.0:
+        raise ValueError(f"q must be in [0, 1), got {q}")
+
+
+def bmmm_phases_before_data(q: float, n: int) -> float:
+    """``1 / (1 - q**n)`` -- BMMM polls all *n* receivers sequentially."""
+    _check_q(q)
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return 1.0 / (1.0 - q**n)
+
+
+def lamm_phases_before_data(q: float, cover_size: int) -> float:
+    """``1 / (1 - q**|S'|)`` -- LAMM polls only the cover set."""
+    return bmmm_phases_before_data(q, cover_size)
+
+
+def bmw_phases_before_data(q: float) -> float:
+    """``1 / (1 - q)`` -- BMW polls a single receiver per round."""
+    _check_q(q)
+    return 1.0 / (1.0 - q)
+
+
+def bsma_cts_success_probability(
+    q: float,
+    n: int,
+    capture: CaptureModel | None = None,
+) -> float:
+    """Probability that a BSMA round yields a decodable CTS:
+    ``sum_{k=1}^{n} C(n,k) (1-q)**k q**(n-k) C_k``."""
+    _check_q(q)
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    capture = capture or ZorziRaoCapture()
+    p = 0.0
+    for k in range(1, n + 1):
+        p += math.comb(n, k) * (1.0 - q) ** k * q ** (n - k) * capture.probability(k)
+    return p
+
+
+def bsma_phases_before_data(q: float, n: int, capture: CaptureModel | None = None) -> float:
+    """Expected contention phases for BSMA -- the reciprocal of the round
+    success probability."""
+    p = bsma_cts_success_probability(q, n, capture)
+    if p <= 0.0:
+        return math.inf
+    return 1.0 / p
+
+
+def table1_row(
+    q: float,
+    n: int,
+    cover_size: int,
+    capture: CaptureModel | None = None,
+) -> dict[str, float]:
+    """One row of Table 1: expected contention phases before DATA."""
+    return {
+        "BMMM": bmmm_phases_before_data(q, n),
+        "LAMM": lamm_phases_before_data(q, cover_size),
+        "BMW": bmw_phases_before_data(q),
+        "BSMA": bsma_phases_before_data(q, n, capture),
+    }

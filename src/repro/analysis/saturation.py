@@ -1,0 +1,85 @@
+"""Timeout-headroom analysis: when does a reliable multicast stop fitting?
+
+Reproducing Figure 6(a) beyond the paper's plotted density range surfaces a
+structural cliff: with Table 2's 100-slot per-message timeout, a BMMM batch
+round for ``n`` receivers occupies ``4n + 5`` slots of medium time plus a
+contention phase, so beyond roughly ``n ~ 20`` receivers not even a single
+clean round fits -- and well before that, there is no headroom for the
+retry rounds congestion makes necessary.  LAMM, polling only a cover set,
+pushes the cliff out; BMW hits it much earlier (``n * (c + 8)`` slots).
+
+This module computes those limits so the EXPERIMENTS.md discussion (and
+anyone re-running the sweeps at other parameters) can predict where each
+protocol's delivery collapses instead of discovering it empirically.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.timing import (
+    bmmm_multicast_time,
+    bmw_multicast_time,
+    expected_contention_cost,
+)
+
+__all__ = [
+    "max_batch_receivers",
+    "max_bmw_receivers",
+    "retry_headroom",
+    "saturation_report",
+]
+
+
+def max_batch_receivers(
+    timeout_slots: float,
+    contention_cost: float | None = None,
+    rounds: int = 1,
+) -> int:
+    """Largest receiver set a batch protocol can serve within the timeout
+    using *rounds* full batch rounds (each ``c + 4n + 5`` slots)."""
+    if timeout_slots <= 0 or rounds < 1:
+        raise ValueError("timeout must be positive and rounds >= 1")
+    c = expected_contention_cost() if contention_cost is None else contention_cost
+    n = 0
+    while bmmm_multicast_time(n + 1, c) * rounds <= timeout_slots:
+        n += 1
+    return n
+
+
+def max_bmw_receivers(
+    timeout_slots: float,
+    contention_cost: float | None = None,
+    overhearing: bool = True,
+) -> int:
+    """Largest receiver set BMW can serve within the timeout (first-try
+    success everywhere)."""
+    if timeout_slots <= 0:
+        raise ValueError("timeout must be positive")
+    c = expected_contention_cost() if contention_cost is None else contention_cost
+    n = 0
+    while bmw_multicast_time(n + 1, c, overhearing=overhearing) <= timeout_slots:
+        n += 1
+    return n
+
+
+def retry_headroom(n: int, timeout_slots: float, contention_cost: float | None = None) -> float:
+    """How many full batch rounds for *n* receivers fit in the timeout?
+    Below 2.0, a single lost ACK round cannot be recovered -- delivery
+    becomes collision-luck, which is where Figure 6's curves collapse."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    c = expected_contention_cost() if contention_cost is None else contention_cost
+    return timeout_slots / bmmm_multicast_time(n, c)
+
+
+def saturation_report(timeout_slots: float = 100.0) -> dict[str, float]:
+    """Summary of the structural limits at a given timeout (Table 2
+    default 100 slots)."""
+    return {
+        "timeout_slots": timeout_slots,
+        "bmmm_max_single_round": max_batch_receivers(timeout_slots, rounds=1),
+        "bmmm_max_two_rounds": max_batch_receivers(timeout_slots, rounds=2),
+        "bmw_max_with_overhearing": max_bmw_receivers(timeout_slots, overhearing=True),
+        "bmw_max_without_overhearing": max_bmw_receivers(timeout_slots, overhearing=False),
+    }

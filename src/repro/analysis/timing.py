@@ -1,0 +1,106 @@
+"""Closed-form medium-time models (Figure 2 analytically; Figure 10's
+shape).
+
+All times are in slots, with Table 2's frame durations (control = 1,
+DATA = 5).  ``c`` denotes the expected cost of one contention phase in
+slots (DIFS + mean backoff on an idle medium; congestion inflates it).
+
+* **BMW** serves each of the ``n`` receivers with its own contention +
+  RTS/CTS exchange and (without overhearing suppression) its own
+  DATA/ACK::
+
+      T_BMW(n) = n * (c + RTS + CTS + DATA + ACK) = n * (c + 8)
+
+  With overhearing, all but the first data exchange collapse to
+  CTS-suppressed polls::
+
+      T_BMW_overhear(n) = n * (c + 2) + 6
+
+* **BMMM** consolidates everything into one contention phase::
+
+      T_BMMM(n) = c + 2n + DATA + 2n = c + 4n + 5
+
+* **LAMM** polls only a cover set of size ``m <= n``::
+
+      T_LAMM(n, m) = c + 4m + 5
+
+With retries, multiply the batch expressions by the expected round count
+:math:`f_n` of :mod:`repro.analysis.recurrence` (each round repeats the
+contention + control exchange; the residual set shrinks, so this is an
+upper bound).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.recurrence import expected_batch_rounds
+from repro.sim.frames import DATA_SLOTS, SIGNAL_SLOTS
+
+__all__ = [
+    "expected_contention_cost",
+    "bmw_multicast_time",
+    "bmmm_multicast_time",
+    "lamm_multicast_time",
+    "figure2_times",
+]
+
+
+def expected_contention_cost(difs_slots: int = 2, cw: int = 16) -> float:
+    """Mean slots one contention phase costs on an *idle* medium:
+    mid-slot alignment + DIFS observation + mean uniform backoff."""
+    if difs_slots < 1 or cw < 1:
+        raise ValueError("difs_slots and cw must be >= 1")
+    return difs_slots + (cw - 1) / 2.0 + 1.0
+
+
+def bmw_multicast_time(n: int, contention_cost: float, overhearing: bool = False) -> float:
+    """Medium time for one clean BMW multicast to *n* receivers."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    t, d = SIGNAL_SLOTS, DATA_SLOTS
+    per_receiver_ctl = contention_cost + t + t  # contention + RTS + CTS
+    if overhearing:
+        # One full DATA/ACK exchange; the rest are suppressed by CTS.
+        return n * per_receiver_ctl + d + t
+    return n * (per_receiver_ctl + d + t)
+
+
+def bmmm_multicast_time(n: int, contention_cost: float) -> float:
+    """Medium time for one clean BMMM batch (Figure 2's lower lane):
+    contention + n RTS/CTS + DATA + n RAK/ACK."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    t, d = SIGNAL_SLOTS, DATA_SLOTS
+    return contention_cost + 2 * n * t + d + 2 * n * t
+
+
+def lamm_multicast_time(n: int, cover_size: int, contention_cost: float) -> float:
+    """Medium time for one clean LAMM batch polling a cover set of
+    ``cover_size`` of the ``n`` receivers."""
+    if not 1 <= cover_size <= n:
+        raise ValueError(f"need 1 <= cover_size <= n, got {cover_size}, {n}")
+    return bmmm_multicast_time(cover_size, contention_cost)
+
+
+def figure2_times(n: int, difs_slots: int = 2, cw: int = 16) -> dict[str, float]:
+    """The two lanes of Figure 2 for *n* receivers, using the expected
+    idle-medium contention cost."""
+    c = expected_contention_cost(difs_slots, cw)
+    return {
+        "BMW": bmw_multicast_time(n, c, overhearing=False),
+        "BMW(overhear)": bmw_multicast_time(n, c, overhearing=True),
+        "BMMM": bmmm_multicast_time(n, c),
+    }
+
+
+def expected_multicast_time_with_retries(
+    n: int,
+    p: float,
+    contention_cost: float,
+    cover_size: int | None = None,
+) -> float:
+    """Upper-bound expected total medium time for a batch protocol when
+    each receiver is served per round with probability *p*: the Figure 5
+    round count times the (initial, largest) round length."""
+    rounds = expected_batch_rounds(n, p)
+    size = n if cover_size is None else cover_size
+    return rounds * bmmm_multicast_time(size, contention_cost)

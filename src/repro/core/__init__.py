@@ -1,0 +1,22 @@
+"""The paper's contribution: BMMM and LAMM.
+
+* :mod:`repro.core.batch` -- the ``Batch_Mode_Procedure`` of Figure 3,
+  shared by both protocols;
+* :mod:`repro.core.bmmm` -- the Batch Mode Multicast MAC (Section 4);
+* :mod:`repro.core.lamm` -- the Location Aware Multicast MAC (Section 5),
+  which feeds the batch procedure a minimum cover set and shrinks the
+  residual receiver set with the angle-based UPDATE.
+"""
+
+from repro.core.batch import BatchOutcome, batch_mode_procedure, batch_round_airtime
+from repro.core.bmmm import BmmmMac
+from repro.core.lamm import LammMac, LammPolicy
+
+__all__ = [
+    "BatchOutcome",
+    "batch_mode_procedure",
+    "batch_round_airtime",
+    "BmmmMac",
+    "LammMac",
+    "LammPolicy",
+]

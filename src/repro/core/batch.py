@@ -1,0 +1,170 @@
+"""``Batch_Mode_Procedure`` -- Figure 3 of the paper.
+
+One batch round serves a receiver set ``S`` with a *single* contention
+phase:
+
+1. the sender executes the contention phase;
+2. for each :math:`p_i \\in S` (in order) it transmits an RTS naming
+   :math:`p_i` with Duration
+   :math:`(\\|S\\|-i) T_{RTS} + (\\|S\\|-i+1) T_{CTS} + T_{DATA}
+   + \\|S\\| (T_{RAK} + T_{ACK})`
+   and waits :math:`T_{CTS}` for that receiver's CTS;
+3. if at least one CTS arrived, it transmits the DATA frame, then polls
+   each :math:`p_i \\in S` with a RAK and waits :math:`T_{ACK}` for the ACK;
+4. it reports :math:`S_{ACK}`, the set of receivers whose ACK it heard.
+
+Because the sender's RTS/RAK polls follow each other with gaps strictly
+shorter than DIFS, no neighbor can pass its own contention phase while a
+batch is in progress -- the medium-occupancy property Section 4 highlights.
+
+The procedure is protocol-agnostic: BMMM calls it with the full intended
+receiver set, LAMM with a cover set of it (the DATA frame is always
+addressed to the full set so non-polled receivers decode it too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.mac.base import MacBase, MacRequest
+from repro.sim.frames import DATA_SLOTS, FrameType, SIGNAL_SLOTS
+
+__all__ = ["BatchOutcome", "BatchResult", "batch_mode_procedure", "batch_round_airtime", "rts_duration", "rak_duration"]
+
+
+class BatchOutcome(Enum):
+    """How one batch round ended (drives the sender protocols' loops)."""
+
+    #: DATA was transmitted; ``acked`` holds :math:`S_{ACK}`.
+    DATA_SENT = "data_sent"
+    #: No CTS was received; the caller must back off and retry.
+    NO_CTS = "no_cts"
+    #: The request's deadline passed before DATA could be sent.
+    EXPIRED = "expired"
+    #: The radio was busy with our own SIFS response; retry immediately.
+    RADIO_BUSY = "radio_busy"
+
+
+@dataclass
+class BatchResult:
+    outcome: BatchOutcome
+    acked: frozenset[int] = frozenset()
+    #: Receivers whose CTS the sender heard (diagnostics).
+    cts_from: frozenset[int] = frozenset()
+
+
+def rts_duration(n: int, i: int) -> int:
+    """Duration field of the *i*-th RTS (1-based) in a batch of *n*
+    receivers -- the exact formula of Figure 3."""
+    if not 1 <= i <= n:
+        raise ValueError(f"need 1 <= i <= n, got i={i}, n={n}")
+    return (
+        (n - i) * SIGNAL_SLOTS  # remaining RTS frames
+        + (n - i + 1) * SIGNAL_SLOTS  # remaining CTS frames (incl. this one's)
+        + DATA_SLOTS
+        + n * (SIGNAL_SLOTS + SIGNAL_SLOTS)  # RAK + ACK per receiver
+    )
+
+
+def rak_duration(n: int, i: int) -> int:
+    """Duration field of the *i*-th RAK (1-based): the rest of the ACK
+    phase."""
+    if not 1 <= i <= n:
+        raise ValueError(f"need 1 <= i <= n, got i={i}, n={n}")
+    return (n - i) * 2 * SIGNAL_SLOTS + SIGNAL_SLOTS
+
+
+def batch_round_airtime(n: int) -> int:
+    """Medium time of one collision-free batch round for *n* receivers,
+    excluding contention: n RTS + n CTS + DATA + n RAK + n ACK slots.
+    (Figure 2's BMMM timeline.)"""
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    return 2 * n * SIGNAL_SLOTS + DATA_SLOTS + 2 * n * SIGNAL_SLOTS
+
+
+def batch_mode_procedure(mac: MacBase, req: MacRequest, polled: list[int], attempt: int):
+    """Run one batch round (generator; drive with the MAC's environment).
+
+    Parameters
+    ----------
+    mac:
+        The sending node's MAC (provides radio, contender, clock).
+    req:
+        The request being served; ``req.dests`` is the full intended set
+        the DATA frame is addressed to.
+    polled:
+        The ordered receiver set handed to the RTS/RAK polls -- ``S`` for
+        BMMM, the cover set ``S'`` for LAMM.
+    attempt:
+        Backoff stage for the contention phase.
+
+    Returns a :class:`BatchResult` (via the generator's return value).
+    """
+    if not polled:
+        raise ValueError("batch procedure needs at least one receiver")
+    env = mac.env
+    t = SIGNAL_SLOTS
+    n = len(polled)
+
+    req.contention_phases += 1
+    yield from mac.contender.contention_phase(attempt)
+    if req.expired(env.now):
+        return BatchResult(BatchOutcome.EXPIRED)
+    if mac.radio.is_transmitting:
+        return BatchResult(BatchOutcome.RADIO_BUSY)
+
+    mac._busy_sender = True
+    try:
+        # --- RTS/CTS phase -------------------------------------------------
+        cts_from: set[int] = set()
+        for i, p in enumerate(polled, start=1):
+            rts = mac.control(
+                FrameType.RTS,
+                ra=p,
+                duration=rts_duration(n, i),
+                seq=req.seq,
+                msg_id=req.msg_id,
+            )
+            yield mac.radio.transmit(rts)
+            cts = yield mac.radio.expect(
+                lambda f, p=p: f.ftype is FrameType.CTS and f.src == p and f.ra == mac.node_id,
+                timeout=t,
+            )
+            if cts is not None:
+                cts_from.add(p)
+
+        if not cts_from:
+            return BatchResult(BatchOutcome.NO_CTS)
+        if req.expired(env.now):
+            # The deadline passed during the RTS/CTS phase: the upper layer
+            # has given up; do not burn medium time on the data frame.
+            return BatchResult(BatchOutcome.EXPIRED, cts_from=frozenset(cts_from))
+
+        # --- DATA ----------------------------------------------------------
+        # The data frame is addressed to the *full* intended set; its
+        # Duration covers the whole RAK/ACK phase.
+        yield mac.radio.transmit(mac.make_data(req, duration=n * 2 * t))
+        req.rounds += 1
+
+        # --- RAK/ACK phase ---------------------------------------------------
+        acked: set[int] = set()
+        for i, p in enumerate(polled, start=1):
+            rak = mac.control(
+                FrameType.RAK,
+                ra=p,
+                duration=rak_duration(n, i),
+                seq=req.seq,
+                msg_id=req.msg_id,
+            )
+            yield mac.radio.transmit(rak)
+            ack = yield mac.radio.expect(
+                lambda f, p=p: f.ftype is FrameType.ACK and f.src == p and f.ra == mac.node_id,
+                timeout=t,
+            )
+            if ack is not None:
+                acked.add(p)
+        return BatchResult(BatchOutcome.DATA_SENT, frozenset(acked), frozenset(cts_from))
+    finally:
+        mac._busy_sender = False

@@ -1,0 +1,56 @@
+"""BMMM -- the Batch Mode Multicast MAC protocol (paper Section 4).
+
+Sender's protocol (Figure 3)::
+
+    if s has a multicast message to send to the nodes in S
+       and it is not in yield state:
+        while S != {}:
+            Batch_Mode_Procedure(S, S_ACK)
+            S = S \\ S_ACK
+
+One contention phase per *round* instead of BMW's one per *receiver*; a
+round that hears no CTS at all backs off (binary exponential) and retries.
+A receiver is removed from the working set once its ACK is heard; the
+protocol completes when the set drains, and times out when the request's
+deadline passes first.
+
+The receiver's protocol (CTS on RTS, ACK on RAK, yield on foreign control
+frames) is the shared behaviour in :class:`repro.mac.base.MacBase` --
+Figure 3's receiver rules are the defaults every protocol here inherits.
+"""
+
+from __future__ import annotations
+
+from repro.core.batch import BatchOutcome, batch_mode_procedure
+from repro.mac.base import MacBase, MacRequest, MessageStatus
+
+__all__ = ["BmmmMac"]
+
+
+class BmmmMac(MacBase):
+    """The Batch Mode Multicast MAC."""
+
+    name = "BMMM"
+
+    def serve_group(self, req: MacRequest):
+        remaining = sorted(req.dests)
+        attempt = 0
+        while remaining:
+            if req.expired(self.env.now):
+                return MessageStatus.TIMED_OUT
+            result = yield from batch_mode_procedure(self, req, remaining, attempt)
+            if result.outcome is BatchOutcome.EXPIRED:
+                return MessageStatus.TIMED_OUT
+            if result.outcome is BatchOutcome.RADIO_BUSY:
+                continue
+            if result.outcome is BatchOutcome.NO_CTS:
+                attempt += 1
+                continue
+            req.acked |= result.acked
+            served = set(result.acked)
+            if served:
+                attempt = 0  # progress: reset the backoff stage
+            else:
+                attempt += 1
+            remaining = [p for p in remaining if p not in served]
+        return MessageStatus.COMPLETED

@@ -1,0 +1,144 @@
+"""LAMM -- the Location Aware Multicast MAC protocol (paper Section 5).
+
+Sender's protocol::
+
+    if s has a multicast message to send to the nodes in S:
+        while S != {}:
+            Batch_Mode_Procedure(MCS(S), S_ACK)
+            S = UPDATE(S, S_ACK)
+
+where ``MCS(S)`` is a (minimum) cover set of the working set and
+``UPDATE(S, S_ACK)`` keeps only the members whose coverage disk is not
+contained in the union of the ACKers' disks (Theorem 3, checked with the
+angle-based test of Theorem 4).  Receivers outside the cover set are never
+polled: the sender *infers* their collision-free reception from geometry.
+That inference is exact in-model (unit-disk interference, collisions the
+only error source) -- the integration tests verify it against the channel's
+ground truth.
+
+Location sources
+----------------
+``location_source="oracle"`` (default) reads positions from the simulated
+topology -- the paper's assumption that the beacon exchange already
+happened.  ``location_source="beacons"`` reads them from the node's
+:class:`~repro.mac.beacons.BeaconService` table instead; members whose
+location is unknown (beacon not yet heard, or expired) are simply polled
+directly, so LAMM degrades gracefully toward BMMM as location knowledge
+thins out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.batch import BatchOutcome, batch_mode_procedure
+from repro.geometry.cover import update_uncovered
+from repro.geometry.mcs import greedy_cover_set, minimum_cover_set
+from repro.mac.base import MacBase, MacRequest, MessageStatus
+
+__all__ = ["LammPolicy", "LammMac"]
+
+
+@dataclass(frozen=True)
+class LammPolicy:
+    """Tunables of LAMM's geometric machinery.
+
+    ``mcs``: ``"greedy"`` (default; always a valid cover set, near-minimum
+    in practice) or ``"exact"`` (branch & bound minimum, Theorem 2's role).
+    """
+
+    mcs: str = "greedy"
+    #: Exact search size limit before falling back to greedy.
+    max_exact: int = 24
+
+    def cover_set(self, ids: Iterable[int], positions: np.ndarray, radius: float) -> set[int]:
+        ids = list(ids)
+        if not ids:
+            return set()
+        if self.mcs == "exact":
+            return minimum_cover_set(ids, positions, radius, max_exact=self.max_exact)
+        if self.mcs == "greedy":
+            return greedy_cover_set(ids, positions, radius)
+        raise ValueError(f"unknown MCS policy {self.mcs!r}")
+
+
+class LammMac(MacBase):
+    """The Location Aware Multicast MAC."""
+
+    name = "LAMM"
+
+    def __init__(
+        self,
+        *args,
+        policy: LammPolicy | None = None,
+        location_source: str = "oracle",
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        if location_source not in ("oracle", "beacons"):
+            raise ValueError(f"unknown location_source {location_source!r}")
+        self.policy = policy or LammPolicy()
+        self.location_source = location_source
+
+    # -- geometry plumbing -------------------------------------------------------
+
+    def _split_by_location(self, members: set[int]):
+        """Partition *members* into (known, unknown) and return a position
+        array usable with the geometry routines for the known ones."""
+        if self.location_source == "oracle":
+            return set(members), set(), self.positions()
+        service = getattr(self, "beacons", None)
+        if service is None:
+            raise RuntimeError(
+                "LAMM configured with location_source='beacons' but the node "
+                "has no BeaconService (pass beacons=BeaconConfig(...) to Network)"
+            )
+        n = self.channel.propagation.n_nodes
+        positions = np.full((n, 2), np.nan)
+        known: set[int] = set()
+        for p in members:
+            pos = service.table.position(p)
+            if pos is not None:
+                positions[p] = pos
+                known.add(p)
+        return known, members - known, positions
+
+    # -- sender protocol -----------------------------------------------------------
+
+    def serve_group(self, req: MacRequest):
+        radius = self.radius()
+        remaining: set[int] = set(req.dests)
+        attempt = 0
+        while remaining:
+            if req.expired(self.env.now):
+                return MessageStatus.TIMED_OUT
+            known, unknown, positions = self._split_by_location(remaining)
+            cover = self.policy.cover_set(known, positions, radius)
+            # Members without location knowledge are polled directly.
+            polled = sorted(cover | unknown)
+            result = yield from batch_mode_procedure(self, req, polled, attempt)
+            if result.outcome is BatchOutcome.EXPIRED:
+                return MessageStatus.TIMED_OUT
+            if result.outcome is BatchOutcome.RADIO_BUSY:
+                continue
+            if result.outcome is BatchOutcome.NO_CTS:
+                attempt += 1
+                continue
+            acked = set(result.acked)
+            req.acked |= acked
+            # Coverage inference (Theorem 3) uses only ACKers with known
+            # locations; unknown members leave the set only by ACKing.
+            next_known = update_uncovered(known, acked & known, positions, radius)
+            inferred = known - next_known - acked
+            req.inferred |= inferred
+            req.acked |= inferred
+            next_remaining = next_known | (unknown - acked)
+            if remaining - next_remaining:
+                attempt = 0  # progress: reset the backoff stage
+            else:
+                attempt += 1
+            remaining = next_remaining
+        return MessageStatus.COMPLETED

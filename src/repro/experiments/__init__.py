@@ -1,0 +1,45 @@
+"""Experiment definitions and runners reproducing Section 7."""
+
+from repro.experiments.config import PROTOCOLS, SimulationSettings, protocol_class
+from repro.experiments.runner import RawRun, MeanMetrics, run_raw, run_protocol, compare
+from repro.experiments.figures import (
+    FigureResult,
+    figure2,
+    figure5,
+    figure6a,
+    figure6b,
+    figure7,
+    figure8,
+    figure9a,
+    figure9b,
+    figure10a,
+    figure10b,
+    table1,
+)
+from repro.experiments.report import format_figure, format_table1, save_json
+
+__all__ = [
+    "PROTOCOLS",
+    "SimulationSettings",
+    "protocol_class",
+    "RawRun",
+    "MeanMetrics",
+    "run_raw",
+    "run_protocol",
+    "compare",
+    "FigureResult",
+    "figure2",
+    "figure5",
+    "figure6a",
+    "figure6b",
+    "figure7",
+    "figure8",
+    "figure9a",
+    "figure9b",
+    "figure10a",
+    "figure10b",
+    "table1",
+    "format_figure",
+    "format_table1",
+    "save_json",
+]

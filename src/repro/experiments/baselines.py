@@ -1,0 +1,109 @@
+"""Golden-result regression checking.
+
+``benchmarks/results/*.json`` hold the most recent full-scale figure
+reproductions.  This module compares a freshly computed
+:class:`~repro.experiments.figures.FigureResult` against such a golden
+file so that refactors of the simulator can be validated quickly:
+identical seeds must reproduce identical series (the simulator is
+deterministic), and different seeds must stay within a tolerance band.
+
+``repro-mac`` does not expose this directly; it is a library facility used
+by the test suite and by developers via::
+
+    from repro.experiments.baselines import compare_to_golden
+    report = compare_to_golden(figure6a(seeds=range(3)), "benchmarks/results")
+    assert report.ok, report.summary()
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.experiments.figures import FigureResult
+
+__all__ = ["Discrepancy", "ComparisonReport", "load_golden", "compare_to_golden"]
+
+
+@dataclass(frozen=True)
+class Discrepancy:
+    series: str
+    index: int
+    golden: float
+    current: float
+
+    @property
+    def rel_error(self) -> float:
+        if self.golden == 0:
+            return math.inf if self.current != 0 else 0.0
+        return abs(self.current - self.golden) / abs(self.golden)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.series}[{self.index}]: golden {self.golden:.4g} vs "
+            f"current {self.current:.4g} ({self.rel_error:+.1%})"
+        )
+
+
+@dataclass
+class ComparisonReport:
+    name: str
+    discrepancies: list[Discrepancy] = field(default_factory=list)
+    missing_series: list[str] = field(default_factory=list)
+    structure_errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not (self.discrepancies or self.missing_series or self.structure_errors)
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"{self.name}: matches golden"
+        lines = [f"{self.name}: {len(self.discrepancies)} discrepancies"]
+        lines += [f"  {d}" for d in self.discrepancies[:10]]
+        lines += [f"  missing series: {s}" for s in self.missing_series]
+        lines += [f"  structure: {e}" for e in self.structure_errors]
+        return "\n".join(lines)
+
+
+def load_golden(name: str, directory: str | Path) -> dict:
+    """Load ``<directory>/<name>.json`` (raises FileNotFoundError)."""
+    path = Path(directory) / f"{name}.json"
+    return json.loads(path.read_text())
+
+
+def compare_to_golden(
+    result: FigureResult,
+    directory: str | Path,
+    rel_tol: float = 0.0,
+    abs_tol: float = 1e-9,
+) -> ComparisonReport:
+    """Compare *result* against its stored golden counterpart.
+
+    ``rel_tol=0`` demands bit-for-bit reproduction (appropriate when the
+    seeds match the golden run's); a positive tolerance allows seed-level
+    noise when comparing across different seed sets.
+    """
+    report = ComparisonReport(result.name)
+    try:
+        golden = load_golden(result.name, directory)
+    except FileNotFoundError:
+        report.structure_errors.append(f"no golden file for {result.name}")
+        return report
+
+    if len(golden.get("xs", [])) != len(result.xs):
+        report.structure_errors.append(
+            f"x-axis length {len(result.xs)} != golden {len(golden.get('xs', []))}"
+        )
+        return report
+
+    for series, values in golden.get("series", {}).items():
+        if series not in result.series:
+            report.missing_series.append(series)
+            continue
+        for i, (g, c) in enumerate(zip(values, result.series[series])):
+            if not math.isclose(c, g, rel_tol=rel_tol, abs_tol=abs_tol):
+                report.discrepancies.append(Discrepancy(series, i, g, c))
+    return report

@@ -1,0 +1,97 @@
+"""Terminal rendering of reproduced figures: ASCII line charts.
+
+The benchmarks and CLI run in terminals without a display, so every
+figure can be rendered as a compact ASCII chart -- enough to eyeball the
+*shape* the paper reports (who is on top, how curves bend) without leaving
+the shell.  Matplotlib is deliberately not a dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.experiments.figures import FigureResult
+
+__all__ = ["ascii_chart", "render_figure"]
+
+#: Series are assigned single-character markers in this order.
+MARKERS = "ox*+#@%&"
+
+
+def _scale(v: float, lo: float, hi: float, size: int) -> int:
+    if hi <= lo:
+        return 0
+    t = (v - lo) / (hi - lo)
+    return max(0, min(size - 1, round(t * (size - 1))))
+
+
+def ascii_chart(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    y_min: float | None = None,
+    y_max: float | None = None,
+) -> str:
+    """Render multiple (x, y) series as an ASCII chart.
+
+    Later-plotted series overwrite earlier ones on shared cells; the
+    legend maps markers to names.
+    """
+    if not xs:
+        raise ValueError("no x values")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length {len(ys)} != {len(xs)} xs")
+    all_y = [y for ys in series.values() for y in ys if not math.isnan(y)]
+    if not all_y:
+        raise ValueError("no finite y values")
+    lo = min(all_y) if y_min is None else y_min
+    hi = max(all_y) if y_max is None else y_max
+    if hi == lo:
+        hi = lo + 1.0
+    x_lo, x_hi = min(xs), max(xs)
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, ys), marker in zip(series.items(), MARKERS):
+        # Line interpolation between consecutive points.
+        pts = [
+            (_scale(x, x_lo, x_hi, width), _scale(y, lo, hi, height))
+            for x, y in zip(xs, ys)
+            if not math.isnan(y)
+        ]
+        for (c0, r0), (c1, r1) in zip(pts, pts[1:]):
+            steps = max(abs(c1 - c0), abs(r1 - r0), 1)
+            for s in range(steps + 1):
+                c = round(c0 + (c1 - c0) * s / steps)
+                r = round(r0 + (r1 - r0) * s / steps)
+                grid[height - 1 - r][c] = "."
+        for c, r in pts:
+            grid[height - 1 - r][c] = marker
+
+    lines = []
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{hi:8.3g} |"
+        elif i == height - 1:
+            label = f"{lo:8.3g} |"
+        else:
+            label = " " * 8 + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(f"{'':9}{x_lo:<10.4g}{'':{max(0, width - 20)}}{x_hi:>10.4g}")
+    legend = "   ".join(
+        f"{marker}={name}" for (name, _), marker in zip(series.items(), MARKERS)
+    )
+    lines.append(" " * 9 + legend)
+    return "\n".join(lines)
+
+
+def render_figure(result: FigureResult, width: int = 60, height: int = 16) -> str:
+    """ASCII chart of a :class:`FigureResult`, titled and labelled."""
+    chart = ascii_chart(result.xs, result.series, width, height)
+    return (
+        f"{result.name}: {result.ylabel}\n"
+        f"(x: {result.xlabel})\n{chart}"
+    )

@@ -1,0 +1,156 @@
+"""Run protocols under :class:`SimulationSettings` and aggregate metrics.
+
+"All the simulation results were the means of 100 runs of simulations with
+different random seeds" (Section 7); :func:`run_protocol` averages
+:class:`~repro.metrics.aggregate.RunMetrics` over a seed list the caller
+chooses (the benchmarks default to fewer runs for wall-clock reasons and
+record how many in their output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean, pstdev
+from typing import Any, Iterable, Sequence, Type
+
+from repro.experiments.config import SimulationSettings, protocol_class
+from repro.mac.base import MacBase, MacConfig, MacRequest
+from repro.metrics.aggregate import RunMetrics, summarize_run
+from repro.phy.capture import ZorziRaoCapture
+from repro.sim.channel import ChannelStats
+from repro.sim.network import Network
+from repro.workload.generator import TrafficGenerator
+from repro.workload.topology import uniform_square
+
+__all__ = ["RawRun", "MeanMetrics", "build_network", "run_raw", "run_once", "run_protocol", "compare"]
+
+
+@dataclass
+class RawRun:
+    """Everything needed to (re-)score one run."""
+
+    requests: list[MacRequest]
+    stats: ChannelStats
+    average_degree: float
+    settings: SimulationSettings
+    seed: int
+
+    def metrics(self, threshold: float | None = None) -> RunMetrics:
+        th = self.settings.threshold if threshold is None else threshold
+        return summarize_run(self.requests, self.stats, threshold=th)
+
+
+@dataclass(frozen=True)
+class MeanMetrics:
+    """Seed-averaged metrics for one protocol at one sweep point."""
+
+    delivery_rate: float
+    delivery_rate_std: float
+    avg_contention_phases: float
+    avg_completion_time: float
+    average_degree: float
+    n_runs: int
+    n_requests: int
+
+    @staticmethod
+    def from_runs(runs: Sequence[RunMetrics], degrees: Sequence[float]) -> "MeanMetrics":
+        if not runs:
+            raise ValueError("no runs to aggregate")
+        rates = [r.delivery_rate for r in runs]
+        return MeanMetrics(
+            delivery_rate=mean(rates),
+            delivery_rate_std=pstdev(rates) if len(rates) > 1 else 0.0,
+            avg_contention_phases=mean(r.avg_contention_phases for r in runs),
+            avg_completion_time=mean(r.avg_completion_time for r in runs),
+            average_degree=mean(degrees),
+            n_runs=len(runs),
+            n_requests=sum(r.n_requests for r in runs),
+        )
+
+
+def build_network(
+    mac_cls: Type[MacBase],
+    settings: SimulationSettings,
+    seed: int,
+    mac_kwargs: dict[str, Any] | None = None,
+    record_transmissions: bool = False,
+) -> Network:
+    """Construct the network for one run (placement seeded by *seed*)."""
+    positions = uniform_square(settings.n_nodes, seed=seed, side=settings.side)
+    return Network(
+        positions,
+        settings.radius,
+        mac_cls,
+        capture=ZorziRaoCapture() if settings.capture else None,
+        frame_error_rate=settings.frame_error_rate,
+        seed=seed,
+        mac_config=MacConfig(
+            contention=settings.contention,
+            timeout_slots=settings.timeout_slots,
+        ),
+        mac_kwargs=mac_kwargs,
+        record_transmissions=record_transmissions,
+        interference_factor=settings.interference_factor,
+    )
+
+
+def run_raw(
+    mac_cls: Type[MacBase],
+    settings: SimulationSettings,
+    seed: int,
+    mac_kwargs: dict[str, Any] | None = None,
+) -> RawRun:
+    """One full simulation run; returns raw material for scoring.
+
+    The topology and the traffic schedule depend only on (*settings*,
+    *seed*), so different protocols at the same seed face identical
+    workloads.
+    """
+    net = build_network(mac_cls, settings, seed, mac_kwargs)
+    gen = TrafficGenerator(
+        settings.n_nodes,
+        net.propagation.neighbors,
+        horizon=settings.horizon,
+        message_rate=settings.message_rate,
+        mix=settings.mix,
+        seed=seed,
+    )
+    requests = gen.inject(net)
+    net.run(until=settings.horizon)
+    return RawRun(requests, net.channel.stats, net.average_degree(), settings, seed)
+
+
+def run_once(
+    mac_cls: Type[MacBase],
+    settings: SimulationSettings,
+    seed: int,
+    mac_kwargs: dict[str, Any] | None = None,
+) -> RunMetrics:
+    """One run, scored at the settings' threshold."""
+    return run_raw(mac_cls, settings, seed, mac_kwargs).metrics()
+
+
+def run_protocol(
+    name: str,
+    settings: SimulationSettings,
+    seeds: Iterable[int],
+) -> MeanMetrics:
+    """Seed-averaged metrics for a registered protocol."""
+    mac_cls, kwargs = protocol_class(name)
+    runs: list[RunMetrics] = []
+    degrees: list[float] = []
+    for seed in seeds:
+        raw = run_raw(mac_cls, settings, seed, kwargs)
+        runs.append(raw.metrics())
+        degrees.append(raw.average_degree)
+    return MeanMetrics.from_runs(runs, degrees)
+
+
+def compare(
+    names: Sequence[str],
+    settings: SimulationSettings,
+    seeds: Iterable[int],
+) -> dict[str, MeanMetrics]:
+    """Run several protocols on identical workloads."""
+    seeds = list(seeds)
+    return {name: run_protocol(name, settings, seeds) for name in names}

@@ -1,0 +1,155 @@
+"""Circular-arc interval algebra.
+
+The paper's Definition 2 expresses cover angles as intervals
+``[angle(cpa), angle(cpb)]`` of degrees measured counter-clockwise from due
+east.  Theorem 4 then asks whether the *union* of such intervals is the full
+circle ``[0, 360]``.  This module provides the small amount of interval
+arithmetic that requires, careful about wrap-around.
+
+Angles are degrees.  An :class:`Arc` is directed counter-clockwise from
+``start`` and spans ``extent`` degrees (``0 < extent <= 360``); an extent of
+360 is the full circle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["Arc", "ArcUnion", "normalize_deg"]
+
+#: Slack used when merging/measuring arcs, absorbing float noise from the
+#: acos/atan2 computations upstream.
+EPS = 1e-9
+
+
+def normalize_deg(angle: float) -> float:
+    """Map *angle* into ``[0, 360)``."""
+    a = math.fmod(angle, 360.0)
+    if a < 0:
+        a += 360.0
+    # A tiny negative input rounds to exactly 360.0 above.
+    return 0.0 if a >= 360.0 else a
+
+
+@dataclass(frozen=True)
+class Arc:
+    """A counter-clockwise arc ``[start, start + extent]`` in degrees."""
+
+    start: float
+    extent: float
+
+    def __post_init__(self):
+        if not 0.0 < self.extent <= 360.0:
+            raise ValueError(f"extent must be in (0, 360], got {self.extent}")
+        object.__setattr__(self, "start", normalize_deg(self.start))
+
+    @classmethod
+    def from_endpoints(cls, alpha: float, beta: float) -> "Arc":
+        """Arc from *alpha* counter-clockwise to *beta* (paper's
+        ``[angle(cpa), angle(cpb)]`` notation).  Equal endpoints denote the
+        full circle."""
+        alpha, beta = normalize_deg(alpha), normalize_deg(beta)
+        extent = normalize_deg(beta - alpha)
+        if extent == 0.0:
+            extent = 360.0
+        return cls(alpha, extent)
+
+    @classmethod
+    def full(cls) -> "Arc":
+        return cls(0.0, 360.0)
+
+    @property
+    def end(self) -> float:
+        return normalize_deg(self.start + self.extent)
+
+    @property
+    def is_full(self) -> bool:
+        return self.extent >= 360.0 - EPS
+
+    def contains(self, angle: float, eps: float = EPS) -> bool:
+        """Is *angle* on the arc (inclusive, with slack)?"""
+        if self.is_full:
+            return True
+        offset = normalize_deg(angle - self.start)
+        return offset <= self.extent + eps or offset >= 360.0 - eps
+
+    def intervals(self) -> list[tuple[float, float]]:
+        """The arc as non-wrapping intervals within ``[0, 360]``."""
+        if self.is_full:
+            return [(0.0, 360.0)]
+        end = self.start + self.extent
+        if end <= 360.0:
+            return [(self.start, end)]
+        return [(self.start, 360.0), (0.0, end - 360.0)]
+
+
+class ArcUnion:
+    """A union of arcs supporting coverage queries."""
+
+    def __init__(self, arcs: Iterable[Arc] = ()):
+        self.arcs: list[Arc] = []
+        for arc in arcs:
+            self.add(arc)
+
+    def add(self, arc: Arc) -> None:
+        self.arcs.append(arc)
+
+    def _merged_intervals(self) -> list[tuple[float, float]]:
+        """Merged, sorted, non-wrapping intervals of the union."""
+        raw: list[tuple[float, float]] = []
+        for arc in self.arcs:
+            raw.extend(arc.intervals())
+        if not raw:
+            return []
+        raw.sort()
+        merged = [raw[0]]
+        for lo, hi in raw[1:]:
+            last_lo, last_hi = merged[-1]
+            if lo <= last_hi + EPS:
+                merged[-1] = (last_lo, max(last_hi, hi))
+            else:
+                merged.append((lo, hi))
+        return merged
+
+    @property
+    def is_full_circle(self) -> bool:
+        """Does the union cover all of ``[0, 360]``?  (Theorem 4's test.)"""
+        if any(arc.is_full for arc in self.arcs):
+            return True
+        merged = self._merged_intervals()
+        return (
+            len(merged) == 1
+            and merged[0][0] <= EPS
+            and merged[0][1] >= 360.0 - EPS
+        )
+
+    def measure(self) -> float:
+        """Total angular measure of the union, in degrees (<= 360)."""
+        if any(arc.is_full for arc in self.arcs):
+            return 360.0
+        return min(360.0, sum(hi - lo for lo, hi in self._merged_intervals()))
+
+    def contains(self, angle: float) -> bool:
+        return any(arc.contains(angle) for arc in self.arcs)
+
+    def gaps(self) -> list[tuple[float, float]]:
+        """Uncovered intervals of ``[0, 360)`` (diagnostics)."""
+        if self.is_full_circle:
+            return []
+        merged = self._merged_intervals()
+        if not merged:
+            return [(0.0, 360.0)]
+        out: list[tuple[float, float]] = []
+        if merged[0][0] > EPS:
+            out.append((0.0, merged[0][0]))
+        for (_, hi), (lo, _) in zip(merged, merged[1:]):
+            if lo - hi > EPS:
+                out.append((hi, lo))
+        if merged[-1][1] < 360.0 - EPS:
+            out.append((merged[-1][1], 360.0))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ArcUnion({self.arcs!r})"

@@ -1,0 +1,166 @@
+"""Cover angles, disk coverage, cover sets, and UPDATE (paper Section 5).
+
+Definitions reproduced from the paper (all stations share transmission
+radius ``R``; :math:`A(s)` is the closed disk of radius ``R`` around ``s``):
+
+* **Definition 1** -- ``S'`` is a *cover set* of ``S`` iff
+  :math:`A(S') = A(S)` where :math:`A(S) = \\bigcup_{s \\in S} A(s)`.
+* **Definition 2** -- the *cover angle* of ``p`` for ``q`` is the angular
+  interval of :math:`A(p)`'s boundary lying inside :math:`A(q)`:
+  ``[theta - gamma, theta + gamma]`` with ``theta`` the bearing of ``q``
+  from ``p`` and ``gamma = arccos(d / 2R)``.  Co-located nodes have cover
+  angle ``[0, 360]``; nodes more than ``R`` apart have cover angle
+  ``empty``.
+* **Theorem 4** -- if the union of ``p``'s cover angles for the nodes of a
+  set ``C`` is ``[0, 360]``, then :math:`A(p) \\subseteq A(C)`.
+
+Why the ``d > R -> empty`` clause is load-bearing: for any point ``x`` in
+:math:`A(p)`, let ``y`` be the boundary point of :math:`A(p)` on the ray
+from ``p`` through ``x``.  Boundary coverage gives ``y \\in A(c)`` for some
+``c \\in C`` with ``d(p, c) <= R``; since ``x`` lies on the segment
+``[p, y]`` and both endpoints are within ``R`` of ``c``, convexity of the
+disk puts ``x \\in A(c)``.  With covers farther than ``R`` the
+``d(p, c) <= R`` step fails and boundary coverage would *not* imply area
+coverage -- so the paper's restriction to neighbors is what makes Theorem 4
+sound, and we implement exactly that restriction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.geometry.arcs import Arc, ArcUnion
+
+__all__ = [
+    "cover_angle",
+    "disk_cover_union",
+    "is_disk_covered",
+    "is_cover_set",
+    "uncovered_points",
+    "update_uncovered",
+]
+
+#: Distance slack absorbing float noise (positions are O(1) coordinates).
+EPS = 1e-12
+
+
+def cover_angle(
+    p: Sequence[float],
+    q: Sequence[float],
+    radius: float,
+) -> Arc | None:
+    """The cover angle of *p* for *q* (Definition 2).
+
+    Returns ``None`` for the empty cover angle (nodes more than ``radius``
+    apart) and a full-circle :class:`Arc` for co-located nodes.
+    """
+    if radius <= 0:
+        raise ValueError(f"radius must be positive, got {radius}")
+    px, py = float(p[0]), float(p[1])
+    qx, qy = float(q[0]), float(q[1])
+    d = math.hypot(qx - px, qy - py)
+    if d > radius + EPS:
+        return None
+    if d <= EPS:
+        return Arc.full()
+    gamma = math.degrees(math.acos(min(1.0, d / (2.0 * radius))))
+    theta = math.degrees(math.atan2(qy - py, qx - px))
+    return Arc.from_endpoints(theta - gamma, theta + gamma)
+
+
+def disk_cover_union(
+    p: Sequence[float],
+    covers: Iterable[Sequence[float]],
+    radius: float,
+) -> ArcUnion:
+    """Union of *p*'s cover angles for every point in *covers*."""
+    union = ArcUnion()
+    for q in covers:
+        arc = cover_angle(p, q, radius)
+        if arc is not None:
+            union.add(arc)
+    return union
+
+
+def is_disk_covered(
+    p: Sequence[float],
+    covers: Iterable[Sequence[float]],
+    radius: float,
+) -> bool:
+    """Theorem 4's test: is :math:`A(p)` covered by the disks of *covers*?
+
+    Sound but (deliberately, like the paper) not complete: only covers
+    within ``radius`` of *p* contribute.
+    """
+    return disk_cover_union(p, covers, radius).is_full_circle
+
+
+def is_cover_set(
+    subset_ids: Iterable[int],
+    all_ids: Iterable[int],
+    positions: np.ndarray,
+    radius: float,
+) -> bool:
+    """Definition 1 via Theorem 4: is ``S'`` (given by *subset_ids*) a cover
+    set of ``S`` (*all_ids*)?
+
+    ``A(S') = A(S)`` iff every member of ``S`` has its disk inside
+    ``A(S')``; members of ``S'`` are trivially covered (they cover
+    themselves with a full-circle cover angle).
+    """
+    subset = set(subset_ids)
+    all_set = set(all_ids)
+    if not subset <= all_set:
+        raise ValueError(f"{subset - all_set} not members of S")
+    positions = np.asarray(positions, dtype=float)
+    cover_pts = [positions[i] for i in subset]
+    for p in all_set - subset:
+        if not is_disk_covered(positions[p], cover_pts, radius):
+            return False
+    return True
+
+
+def uncovered_points(
+    p: Sequence[float],
+    covers: Iterable[Sequence[float]],
+    radius: float,
+    samples: int = 64,
+) -> list[tuple[float, float]]:
+    """Boundary points of :math:`A(p)` not covered by any cover disk
+    (diagnostics / test oracle; uses true membership, not cover angles)."""
+    px, py = float(p[0]), float(p[1])
+    cov = [(float(q[0]), float(q[1])) for q in covers]
+    out = []
+    for i in range(samples):
+        ang = 2.0 * math.pi * i / samples
+        x, y = px + radius * math.cos(ang), py + radius * math.sin(ang)
+        if not any(math.hypot(x - cx, y - cy) <= radius + 1e-9 for cx, cy in cov):
+            out.append((x, y))
+    return out
+
+
+def update_uncovered(
+    remaining_ids: Iterable[int],
+    acked_ids: Iterable[int],
+    positions: np.ndarray,
+    radius: float,
+) -> set[int]:
+    """The paper's ``UPDATE(S, S_ACK)`` procedure (Theorem 3).
+
+    Returns the members of ``S`` whose coverage disk is *not* contained in
+    :math:`A(S_{ACK})` -- the nodes that still need to be served in the next
+    batch round.  Nodes in ``S_ACK`` are trivially covered and drop out.
+    """
+    acked = set(acked_ids)
+    positions = np.asarray(positions, dtype=float)
+    ack_pts = [positions[i] for i in acked]
+    out: set[int] = set()
+    for p in remaining_ids:
+        if p in acked:
+            continue
+        if not is_disk_covered(positions[p], ack_pts, radius):
+            out.add(p)
+    return out

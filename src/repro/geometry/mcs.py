@@ -1,0 +1,169 @@
+"""Minimum cover set computation (paper Theorem 2).
+
+Reference [18] of the paper ("Location-aided Geometry-based Broadcast",
+submitted for publication at the time) gives an :math:`O(n^{4/3})` exact
+algorithm we cannot access.  As recorded in DESIGN.md (substitution #3), we
+provide:
+
+* :func:`greedy_cover_set` -- an :math:`O(n^2 \\log n)`-ish greedy that at
+  each step adds the candidate covering the most still-uncovered members
+  (always returns a valid cover set; used by LAMM at simulation time);
+* :func:`minimum_cover_set` -- exact minimum via branch & bound seeded with
+  the greedy bound and the *forced* members (nodes no other member can
+  cover), practical for the neighborhood sizes the paper simulates
+  (n up to a few tens).
+
+Both operate over the paper's own coverage predicate (Theorem 4's angle
+test), so any returned set satisfies Definition 1 by construction --
+exactly what Theorem 1 needs for LAMM's correctness.  Minimality only
+affects the constant-factor control-frame savings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.geometry.arcs import ArcUnion
+from repro.geometry.cover import cover_angle, is_disk_covered
+
+__all__ = ["greedy_cover_set", "minimum_cover_set", "forced_members"]
+
+
+def _coverage_arcs(ids: Sequence[int], positions: np.ndarray, radius: float):
+    """arcs[p][q] = cover angle of p for q (None when empty), for p, q in S."""
+    arcs = {}
+    for p in ids:
+        row = {}
+        for q in ids:
+            row[q] = cover_angle(positions[p], positions[q], radius)
+        arcs[p] = row
+    return arcs
+
+
+def _covered(p: int, chosen: Iterable[int], arcs) -> bool:
+    union = ArcUnion()
+    for q in chosen:
+        arc = arcs[p][q]
+        if arc is not None:
+            union.add(arc)
+    return union.is_full_circle
+
+
+def forced_members(
+    ids: Sequence[int],
+    positions: np.ndarray,
+    radius: float,
+) -> set[int]:
+    """Members that belong to *every* cover set of ``S``: nodes whose disk
+    is not covered even by all the other members together."""
+    positions = np.asarray(positions, dtype=float)
+    ids = list(ids)
+    forced = set()
+    for p in ids:
+        others = [positions[q] for q in ids if q != p]
+        if not is_disk_covered(positions[p], others, radius):
+            forced.add(p)
+    return forced
+
+
+def greedy_cover_set(
+    ids: Iterable[int],
+    positions: np.ndarray,
+    radius: float,
+) -> set[int]:
+    """Greedy cover set of ``S`` (ids index into *positions*).
+
+    Starts from the forced members, then repeatedly adds the candidate that
+    newly covers the most still-uncovered members (ties: larger total
+    residual arc measure, then smaller id, for determinism).
+    """
+    positions = np.asarray(positions, dtype=float)
+    ids = sorted(set(ids))
+    if not ids:
+        return set()
+    arcs = _coverage_arcs(ids, positions, radius)
+    chosen = forced_members(ids, positions, radius)
+    uncovered = {p for p in ids if p not in chosen and not _covered(p, chosen, arcs)}
+
+    while uncovered:
+        best = None
+        best_key = None
+        for cand in ids:
+            if cand in chosen:
+                continue
+            with_cand = chosen | {cand}
+            newly = sum(1 for p in uncovered if _covered(p, with_cand, arcs))
+            gain = 0.0
+            for p in uncovered:
+                arc = arcs[p][cand]
+                if arc is not None:
+                    gain += arc.extent
+            key = (newly, gain, -cand)
+            if best_key is None or key > best_key:
+                best, best_key = cand, key
+        assert best is not None  # a candidate always covers itself
+        chosen.add(best)
+        uncovered = {p for p in uncovered if not _covered(p, chosen, arcs)}
+    return chosen
+
+
+def minimum_cover_set(
+    ids: Iterable[int],
+    positions: np.ndarray,
+    radius: float,
+    max_exact: int = 24,
+) -> set[int]:
+    """Exact minimum cover set of ``S`` by branch & bound.
+
+    Falls back to the greedy result when ``len(S) > max_exact`` (the search
+    is exponential in the worst case; the paper's neighborhoods stay well
+    under this limit at its default density).
+    """
+    positions = np.asarray(positions, dtype=float)
+    ids = sorted(set(ids))
+    if not ids:
+        return set()
+    greedy = greedy_cover_set(ids, positions, radius)
+    if len(ids) > max_exact:
+        return greedy
+
+    arcs = _coverage_arcs(ids, positions, radius)
+    forced = forced_members(ids, positions, radius)
+    # Candidates that could still help: everything not forced.
+    free = [p for p in ids if p not in forced]
+
+    best: set[int] = set(greedy)
+
+    def initially_uncovered(chosen: set[int]) -> set[int]:
+        return {p for p in ids if p not in chosen and not _covered(p, chosen, arcs)}
+
+    def search(index: int, chosen: set[int], uncovered: set[int]) -> None:
+        nonlocal best
+        if len(chosen) >= len(best):
+            return
+        if not uncovered:
+            best = set(chosen)
+            return
+        if index == len(free):
+            return
+        # Feasibility prune: every uncovered node must still be coverable by
+        # chosen + remaining candidates (it always is: itself is remaining
+        # unless skipped).  Prune nodes that can no longer be covered.
+        remaining = free[index:]
+        for p in uncovered:
+            if p not in remaining and not _covered(p, chosen | set(remaining), arcs):
+                return
+
+        cand = free[index]
+        # Branch 1: include cand.
+        with_cand = chosen | {cand}
+        newly = {p for p in uncovered if p == cand or _covered(p, with_cand, arcs)}
+        search(index + 1, with_cand, uncovered - newly)
+        # Branch 2: exclude cand.
+        search(index + 1, chosen, uncovered)
+
+    start = set(forced)
+    search(0, start, initially_uncovered(start))
+    return best

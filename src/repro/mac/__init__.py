@@ -1,0 +1,23 @@
+"""MAC-layer substrate shared by all protocols.
+
+* :mod:`repro.mac.nav` -- virtual carrier sense (the paper's "yield state");
+* :mod:`repro.mac.contention` -- the CSMA/CA contention phase of Section 2.1;
+* :mod:`repro.mac.base` -- request/queue plumbing, receiver dispatch, and
+  the shared DCF unicast engine every protocol uses for the unicast share
+  of the traffic mix.
+"""
+
+from repro.mac.nav import Nav
+from repro.mac.contention import ContentionParams, Contender
+from repro.mac.base import MacConfig, MacRequest, MessageKind, MessageStatus, MacBase
+
+__all__ = [
+    "Nav",
+    "ContentionParams",
+    "Contender",
+    "MacConfig",
+    "MacRequest",
+    "MessageKind",
+    "MessageStatus",
+    "MacBase",
+]

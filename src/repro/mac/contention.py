@@ -1,0 +1,164 @@
+"""The CSMA/CA contention phase (paper Section 2.1).
+
+Protocol steps 1-3 of the paper's CSMA/CA description: listen; if busy,
+wait for idle; back off a random number of slots drawn from the contention
+window, freezing the countdown whenever the medium goes busy; transmit when
+the counter reaches zero.  One execution of :meth:`Contender.contention_phase`
+is exactly one "contention phase" -- the efficiency metric of Table 1 and
+Figures 5/9.
+
+Timing model
+------------
+Transmissions start and end on integer slot boundaries ("the time is slotted
+so that the event happens at the beginning of a slot", Section 7).  Carrier
+sensing, however, is performed *mid-slot* (at ``t + 0.5``): a station
+deciding whether slot ``t`` was idle must not see transmissions that begin
+in the very same slot it would transmit in, otherwise two stations whose
+backoff expires simultaneously would never collide -- and colliding RTS
+frames are one of the five loss mechanisms the paper analyses in Section 6.
+When the countdown hits zero the station transmits at the *next* slot
+boundary.
+
+The medium is considered busy when either physical carrier sense
+(:attr:`Radio.busy_until`) or the NAV (yield state) says so.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.mac.nav import Nav
+from repro.sim.kernel import Environment
+from repro.sim.radio import Radio
+
+__all__ = ["ContentionParams", "Contender"]
+
+
+@dataclass(frozen=True)
+class ContentionParams:
+    """Tunables of the contention machine.
+
+    The paper does not publish its backoff constants; these defaults are
+    recorded as substitution #5 in DESIGN.md and swept by the
+    ``bench_ablation_cw`` benchmark.
+
+    Attributes
+    ----------
+    difs_slots:
+        Consecutive idle slots required before backoff starts.  Must be at
+        least 2 so that a BMMM sender's 1-slot gaps between consecutive
+        control frames keep neighbors from acquiring the medium (Section 4).
+    cw_min / cw_max:
+        Initial and maximum contention window (backoff drawn uniformly from
+        ``[0, cw)``).
+    resume_backoff:
+        True (802.11 style): a frozen countdown resumes where it stopped.
+        False: redraw after every freeze.
+    """
+
+    difs_slots: int = 2
+    cw_min: int = 16
+    cw_max: int = 256
+    resume_backoff: bool = True
+
+    def __post_init__(self):
+        if self.difs_slots < 1:
+            raise ValueError(f"difs_slots must be >= 1, got {self.difs_slots}")
+        if not 1 <= self.cw_min <= self.cw_max:
+            raise ValueError(f"need 1 <= cw_min <= cw_max, got {self.cw_min}, {self.cw_max}")
+
+    def window(self, attempt: int) -> int:
+        """Contention window for the *attempt*-th (re)try, with binary
+        exponential backoff capped at ``cw_max``."""
+        if attempt < 0:
+            raise ValueError(f"negative attempt {attempt}")
+        return min(self.cw_min << attempt, self.cw_max)
+
+
+class Contender:
+    """Contention-phase engine bound to one node's radio, NAV and RNG."""
+
+    def __init__(
+        self,
+        env: Environment,
+        radio: Radio,
+        nav: Nav,
+        rng: random.Random,
+        params: ContentionParams | None = None,
+    ):
+        self.env = env
+        self.radio = radio
+        self.nav = nav
+        self.rng = rng
+        self.params = params or ContentionParams()
+        #: Total contention phases executed by this node (metrics).
+        self.phases_executed = 0
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _virtual_busy_until(self) -> float:
+        return max(self.radio.busy_until, self.nav.until)
+
+    def _slot_was_busy(self) -> bool:
+        """Sampled mid-slot: is the current slot occupied?"""
+        return self._virtual_busy_until() > self.env.now
+
+    def _next_sample_point(self) -> float:
+        """Delay from now to the next mid-slot sampling instant, skipping
+        ahead over known-busy time instead of polling every slot."""
+        now = self.env.now
+        vb = self._virtual_busy_until()
+        target = max(now + 1.0, math.floor(vb) + 0.5)
+        return target - now
+
+    # -- the contention phase ----------------------------------------------------
+
+    def contention_phase(self, attempt: int = 0):
+        """Generator: one CSMA/CA contention phase.
+
+        Yields kernel events; returns (at an integer slot boundary) when the
+        station has won access and must transmit immediately.  *attempt*
+        selects the BEB window for retransmissions (CSMA/CA step 4).
+        """
+        self.phases_executed += 1
+        env = self.env
+        params = self.params
+
+        # Align to the next mid-slot sampling point.
+        frac = env.now - math.floor(env.now)
+        yield env.timeout((0.5 - frac) % 1.0)
+
+        backoff = self.rng.randrange(params.window(attempt))
+        while True:
+            # -- DIFS: require `difs_slots` consecutive idle slots ---------
+            idle_run = 0
+            while idle_run < params.difs_slots:
+                if self._slot_was_busy():
+                    idle_run = 0
+                    if not params.resume_backoff:
+                        backoff = self.rng.randrange(params.window(attempt))
+                    yield env.timeout(self._next_sample_point())
+                else:
+                    idle_run += 1
+                    yield env.timeout(1.0)
+
+            # -- backoff countdown, frozen by activity ---------------------
+            frozen = False
+            while backoff > 0:
+                if self._slot_was_busy():
+                    frozen = True
+                    break
+                backoff -= 1
+                yield env.timeout(1.0)
+            if frozen:
+                continue
+
+            if self._slot_was_busy():
+                # Counter reached zero during a busy slot: defer.
+                continue
+
+            # Transmit at the next slot boundary (0.5 slots away).
+            yield env.timeout(0.5)
+            return

@@ -1,0 +1,63 @@
+"""Network Allocation Vector -- virtual carrier sense.
+
+The paper calls a station with a set NAV "in the yield state": it must
+neither contend for the medium nor answer RTS/RAK polls (Figure 3,
+receiver's protocol: "if a node q receives a control frame not intended for
+it, q yields for Duration time specified in the control frame").
+
+Our Duration fields count slots of medium time remaining *after* the frame
+carrying them ends, so a receiver hearing a foreign control frame at time
+``t`` (reception completes at ``t``) yields until ``t + duration``.
+"""
+
+from __future__ import annotations
+
+from repro.sim.kernel import Environment
+
+__all__ = ["Nav"]
+
+
+class Nav:
+    """Per-node virtual carrier sense timer.
+
+    The NAV remembers which exchange set it (*owner* = the MAC address of
+    the station that initiated the reservation).  This matters for batch
+    protocols: a BMMM receiver p1 overhears the sender's RTS polls to its
+    fellow receivers p2..pn and yields for their Duration -- but it must
+    still answer the sender's *own* later RTS/RAK polls.  The paper's
+    receiver rule ("sends CTS ... if it is not in yield state") therefore
+    reads as "not yielding *to a different exchange*", which is what
+    :meth:`blocks_response_to` implements.
+    """
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.until: float = env.now
+        self.owner: int | None = None
+
+    @property
+    def active(self) -> bool:
+        """True while the node is in the yield state."""
+        return self.until > self.env.now
+
+    def set(self, duration: float, owner: int | None = None) -> None:
+        """Yield for *duration* slots from now (never shortens the NAV)."""
+        if duration < 0:
+            raise ValueError(f"negative NAV duration {duration}")
+        expiry = self.env.now + duration
+        if not self.active or expiry >= self.until:
+            self.owner = owner
+        self.until = max(self.until, expiry)
+
+    def blocks_response_to(self, initiator: int) -> bool:
+        """Should a poll (RTS/RAK) from *initiator* go unanswered?"""
+        return self.active and self.owner != initiator
+
+    def clear(self) -> None:
+        """Drop the NAV (used when a station learns the medium freed early)."""
+        self.until = self.env.now
+        self.owner = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = f"yielding until {self.until}" if self.active else "clear"
+        return f"<Nav {state}>"

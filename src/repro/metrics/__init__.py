@@ -1,0 +1,10 @@
+"""Metrics: per-message scoring and run-level aggregation (Section 7)."""
+
+from repro.metrics.aggregate import (
+    MessageScore,
+    RunMetrics,
+    score_request,
+    summarize_run,
+)
+
+__all__ = ["MessageScore", "RunMetrics", "score_request", "summarize_run"]

@@ -1,0 +1,75 @@
+"""Small-sample statistics for seed-averaged results.
+
+The paper reports plain means of 100 runs.  When reproducing with fewer
+runs it is worth knowing how wide the error bars are; this module provides
+mean / standard error / Student-t confidence intervals without requiring
+scipy (the t quantiles are tabulated for the 95% level and fall back to
+the normal quantile for large samples).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["MeanCI", "mean_ci", "t_quantile_95"]
+
+#: Two-sided 95% Student-t quantiles by degrees of freedom (1..30).
+_T95 = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+]
+_Z95 = 1.960
+
+
+def t_quantile_95(dof: int) -> float:
+    """Two-sided 95% t quantile for *dof* degrees of freedom."""
+    if dof < 1:
+        raise ValueError(f"dof must be >= 1, got {dof}")
+    if dof <= len(_T95):
+        return _T95[dof - 1]
+    return _Z95
+
+
+@dataclass(frozen=True)
+class MeanCI:
+    """A mean with its 95% confidence half-width."""
+
+    mean: float
+    half_width: float
+    n: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def overlaps(self, other: "MeanCI") -> bool:
+        """Do the two intervals overlap?  (A quick, conservative test of
+        'indistinguishable at this sample size'.)"""
+        return self.low <= other.high and other.low <= self.high
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.half_width:.2g} (n={self.n})"
+
+
+def mean_ci(values: Sequence[float]) -> MeanCI:
+    """Mean and 95% Student-t confidence half-width of *values*.
+
+    A single value gets an infinite half-width -- one run tells you
+    nothing about variance.
+    """
+    n = len(values)
+    if n == 0:
+        raise ValueError("no values")
+    m = sum(values) / n
+    if n == 1:
+        return MeanCI(m, float("inf"), 1)
+    var = sum((v - m) ** 2 for v in values) / (n - 1)
+    se = math.sqrt(var / n)
+    return MeanCI(m, t_quantile_95(n - 1) * se, n)

@@ -1,0 +1,29 @@
+"""Physical-layer models: unit-disk propagation and DS capture.
+
+The paper's simulator (Section 7) uses a unit-disk radio (radius 0.2 in a
+unit square) and, for the BSMA baseline, a *direct-sequence capture* channel
+where the strongest of several colliding frames may still be decoded with
+probability :math:`C_k` taken from Zorzi & Rao [23].
+"""
+
+from repro.phy.propagation import (
+    UnitDiskPropagation,
+    distance_matrix,
+    neighbor_sets,
+)
+from repro.phy.capture import (
+    CaptureModel,
+    NoCapture,
+    ZorziRaoCapture,
+    MonteCarloCapture,
+)
+
+__all__ = [
+    "UnitDiskPropagation",
+    "distance_matrix",
+    "neighbor_sets",
+    "CaptureModel",
+    "NoCapture",
+    "ZorziRaoCapture",
+    "MonteCarloCapture",
+]

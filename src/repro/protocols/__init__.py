@@ -1,0 +1,27 @@
+"""Baseline multicast MAC protocols the paper describes and simulates.
+
+* :class:`PlainMulticastMac` -- the stock IEEE 802.11 multicast (no
+  handshake, no recovery; Section 2.2, first paragraph);
+* :class:`TangGerlaMac` -- [19]'s broadcast RTS/CTS extension (Section 2.2);
+* :class:`BsmaMac` -- BSMA [20]: Tang-Gerla plus the NAK window (Section 2.2);
+* :class:`BmwMac` -- BMW [21]: one reliable DCF-style unicast round per
+  neighbor, with overhearing-based suppression (Section 2.2).
+
+The paper's own protocols (BMMM, LAMM) live in :mod:`repro.core`.
+"""
+
+from repro.protocols.plain import PlainMulticastMac
+from repro.protocols.tang_gerla import TangGerlaMac
+from repro.protocols.bsma import BsmaMac
+from repro.protocols.bmw import BmwMac
+from repro.protocols.lacs import LacsMulticastMac
+from repro.protocols.leader import LeaderBasedMac
+
+__all__ = [
+    "PlainMulticastMac",
+    "TangGerlaMac",
+    "BsmaMac",
+    "BmwMac",
+    "LacsMulticastMac",
+    "LeaderBasedMac",
+]

@@ -1,0 +1,57 @@
+"""LACS -- Location-Aware Carrier Sense multicast (future-work extension).
+
+The stock 802.11 multicast (:class:`PlainMulticastMac`) with the
+exposed-terminal relief of :mod:`repro.mac.exposed` plugged into its
+contention engine: an exposed station transmits its group data concurrently
+with an ongoing, provably non-conflicting group-data transmission instead
+of serializing behind it.
+
+This is *not* part of the paper's evaluation -- it is an implementation of
+the direction its conclusion sketches ("with the help of location
+information, we hope to find an efficient multicast MAC protocol that
+solves both the hidden and exposed terminal problems"), restricted to the
+case where it is provably sound (ACK-less group data; see
+``repro/mac/exposed.py`` for why reverse traffic forbids the rest).
+The ``bench_ablation_exposed`` benchmark quantifies the spatial-reuse win.
+"""
+
+from __future__ import annotations
+
+from repro.mac.base import MacRequest, MessageStatus
+from repro.mac.exposed import ExposedAwareContender
+from repro.protocols.plain import PlainMulticastMac
+
+__all__ = ["LacsMulticastMac"]
+
+
+class LacsMulticastMac(PlainMulticastMac):
+    """802.11 multicast with location-aware exposed-terminal relief."""
+
+    name = "LACS"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        prop = self.channel.propagation
+
+        def locate(node_id: int):
+            x, y = prop.positions[node_id]
+            return (float(x), float(y))
+
+        # Swap in the exposed-aware engine (same RNG stream and params).
+        self.contender = ExposedAwareContender(
+            self.env,
+            self.radio,
+            self.nav,
+            self.rng,
+            self.config.contention,
+            prop.radius,
+            locate,
+        )
+
+    def serve_group(self, req: MacRequest):
+        self.contender.set_intent(req.dests)
+        try:
+            result = yield from super().serve_group(req)
+        finally:
+            self.contender.set_intent(None)
+        return result

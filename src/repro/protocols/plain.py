@@ -1,0 +1,29 @@
+"""Stock IEEE 802.11 multicast/broadcast MAC.
+
+"In the IEEE 802.11 specification, the multicast sender simply listens to
+the channel and then transmits its data frame when the channel becomes free
+for a period of time.  There is no MAC-level recovery on multicast frames."
+(paper, Section 1.)  One contention phase, one group-addressed DATA frame,
+no RTS/CTS, no ACK -- the unreliable baseline BMMM/LAMM are designed to
+coexist with.
+
+The actual procedure lives in
+:meth:`repro.mac.base.MacBase.serve_group_unreliable`, because *every* MAC
+here offers it for ``reliable=False`` requests (Section 4's coexistence);
+this class simply makes it the only group service.
+"""
+
+from __future__ import annotations
+
+from repro.mac.base import MacBase, MacRequest
+
+__all__ = ["PlainMulticastMac"]
+
+
+class PlainMulticastMac(MacBase):
+    """The 802.11 basic-access multicast (no recovery)."""
+
+    name = "802.11"
+
+    def serve_group(self, req: MacRequest):
+        return (yield from self.serve_group_unreliable(req))

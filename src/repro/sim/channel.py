@@ -1,0 +1,237 @@
+"""The slotted broadcast channel: propagation, collisions, capture.
+
+This is the heart of the simulator substrate.  Semantics (matching the
+paper's Section 7 setup):
+
+* Time is slotted; transmissions start at the current time and occupy
+  ``frame.airtime`` slots.
+* A transmission by ``u`` is audible at every node within the transmission
+  radius (unit-disk; interference range = transmission range, the model
+  under which Theorems 1/3 hold).
+* A receiver decodes a frame iff, over the frame's whole airtime,
+
+  1. the receiver was never itself transmitting (half-duplex), and
+  2. either the frame was the *only* audible transmission overlapping it
+     ("received without collision" -- the clean flag), or the radio has
+     direct-sequence capture, this frame was strictly the strongest among
+     all overlapping audible frames, and a Bernoulli draw with probability
+     ``C_k`` succeeds (``k`` = number of overlapping frames) -- Section 3's
+     discussion of [19]/[20] and reference [23].
+
+* Independently, a clean or captured frame may still be lost with
+  probability ``frame_error_rate`` (the "transmission errors" component of
+  the analysis parameter ``q`` in Section 6).
+
+Reception outcomes are decided when the frame's airtime ends, at scheduler
+priority :data:`PRIORITY_DELIVERY`, so same-slot protocol timeouts observe
+them (see ``kernel.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.phy.capture import CaptureModel, NoCapture
+from repro.phy.propagation import UnitDiskPropagation
+from repro.sim.frames import Frame, FrameType
+from repro.sim.kernel import Environment, Event, PRIORITY_DELIVERY
+from repro.sim.radio import Radio
+
+__all__ = ["Transmission", "Channel", "ChannelStats"]
+
+
+@dataclass
+class Transmission:
+    """One frame in flight."""
+
+    frame: Frame
+    sender: int
+    start: float
+    end: float
+
+    def overlaps(self, other: "Transmission") -> bool:
+        return self.start < other.end and other.start < self.end
+
+
+@dataclass
+class ChannelStats:
+    """Ground-truth channel bookkeeping for metrics and theorem checks."""
+
+    frames_sent: dict[FrameType, int] = field(default_factory=dict)
+    frames_delivered: dict[FrameType, int] = field(default_factory=dict)
+    collisions: int = 0
+    captures: int = 0
+    frame_errors: int = 0
+    half_duplex_losses: int = 0
+    #: msg_id -> every station that decoded the DATA frame (any retry,
+    #: capture included; bystanders overhearing it count too -- intersect
+    #: with the request's intended set when scoring).
+    data_receipts: dict[int, set[int]] = field(default_factory=dict)
+    #: msg_id -> stations that received the DATA frame *without collision*.
+    clean_data_receipts: dict[int, set[int]] = field(default_factory=dict)
+
+    def note_sent(self, frame: Frame) -> None:
+        self.frames_sent[frame.ftype] = self.frames_sent.get(frame.ftype, 0) + 1
+
+    def note_delivered(self, frame: Frame, receiver: int, clean: bool) -> None:
+        self.frames_delivered[frame.ftype] = self.frames_delivered.get(frame.ftype, 0) + 1
+        if frame.ftype is FrameType.DATA and frame.msg_id is not None:
+            self.data_receipts.setdefault(frame.msg_id, set()).add(receiver)
+            if clean:
+                self.clean_data_receipts.setdefault(frame.msg_id, set()).add(receiver)
+
+
+class Channel:
+    """Shared wireless medium for a static topology.
+
+    Parameters
+    ----------
+    env:
+        The simulation environment.
+    propagation:
+        Precomputed unit-disk topology (positions, radius, powers).
+    capture:
+        DS capture model; default :class:`NoCapture` (a pure collision
+        channel).  The paper's simulations enable Zorzi-Rao capture "to
+        ensure that BSMA works as designed".
+    frame_error_rate:
+        iid per-(frame, receiver) loss probability applied on top of
+        collision resolution.
+    rng:
+        Source for capture and frame-error draws (``random.Random``).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        propagation: UnitDiskPropagation,
+        capture: CaptureModel | None = None,
+        frame_error_rate: float = 0.0,
+        rng: random.Random | None = None,
+        record_transmissions: bool = False,
+    ):
+        if not 0.0 <= frame_error_rate < 1.0:
+            raise ValueError(f"frame_error_rate must be in [0, 1), got {frame_error_rate}")
+        self.env = env
+        self.propagation = propagation
+        self.capture = capture if capture is not None else NoCapture()
+        self.frame_error_rate = frame_error_rate
+        self.rng = rng if rng is not None else random.Random(0)
+        self.radios: dict[int, Radio] = {}
+        self.stats = ChannelStats()
+        #: Complete transmission log (for timeline figures); only populated
+        #: when *record_transmissions* is set, to keep long runs lean.
+        self.record_transmissions = record_transmissions
+        self.tx_log: list[Transmission] = []
+        # Frames can in principle be longer than DATA_SLOTS if a user defines
+        # new types; track the longest airtime seen so pruning stays safe.
+        self._max_airtime = 1.0
+
+    # -- attachment -----------------------------------------------------------
+
+    def attach(self, node_id: int) -> Radio:
+        """Create (or return) the radio for *node_id*."""
+        if not 0 <= node_id < self.propagation.n_nodes:
+            raise ValueError(f"node id {node_id} outside topology")
+        if node_id not in self.radios:
+            self.radios[node_id] = Radio(self, node_id)
+        return self.radios[node_id]
+
+    def neighbors(self, node_id: int) -> frozenset[int]:
+        return self.propagation.neighbors[node_id]
+
+    # -- transmission ----------------------------------------------------------
+
+    def transmit(self, radio: Radio, frame: Frame) -> Event:
+        """Start transmitting *frame* from *radio* now."""
+        if radio.is_transmitting:
+            raise RuntimeError(
+                f"node {radio.node_id} attempted to transmit {frame} while already transmitting"
+            )
+        now = self.env.now
+        tx = Transmission(frame, radio.node_id, now, now + frame.airtime)
+        self._max_airtime = max(self._max_airtime, frame.airtime)
+        self.stats.note_sent(frame)
+        if self.record_transmissions:
+            self.tx_log.append(tx)
+
+        self._prune(radio.own_tx)
+        radio.own_tx.append(tx)
+        radio.busy_until = max(radio.busy_until, tx.end)
+        radio._notify_activity(tx)
+
+        # Audibility (carrier sense + interference) extends to the
+        # interference range; decodability (see _finish) only to the
+        # transmission radius.  They coincide in the paper's model.
+        for nid in self.propagation.interferers[radio.node_id]:
+            r = self.radios.get(nid)
+            if r is None:
+                continue
+            self._prune(r.audible)
+            r.audible.append(tx)
+            r.busy_until = max(r.busy_until, tx.end)
+            r._notify_activity(tx)
+
+        done = self.env.timeout(frame.airtime, value=tx, priority=PRIORITY_DELIVERY)
+        done.callbacks.append(lambda _ev: self._finish(tx))
+        return done
+
+    def _prune(self, txs: list[Transmission]) -> None:
+        """Drop transmissions too old to overlap any frame still in flight.
+
+        A frame finishing at time ``T >= now`` started at
+        ``T - airtime >= now - max_airtime``, so anything ending at or
+        before ``now - max_airtime`` is unreachable.
+        """
+        horizon = self.env.now - self._max_airtime
+        if txs and txs[0].end <= horizon:
+            txs[:] = [t for t in txs if t.end > horizon]
+
+    # -- reception -------------------------------------------------------------
+
+    def _finish(self, tx: Transmission) -> None:
+        """Decide reception of *tx* at every potential receiver (stations
+        within *decode* range; farther stations only suffered
+        interference)."""
+        for nid in self.propagation.neighbors[tx.sender]:
+            radio = self.radios.get(nid)
+            if radio is None:
+                continue
+            self._receive_at(radio, tx)
+
+    def _receive_at(self, radio: Radio, tx: Transmission) -> None:
+        # Half-duplex: receiving while transmitting is impossible.
+        if any(own.overlaps(tx) for own in radio.own_tx):
+            self.stats.half_duplex_losses += 1
+            return
+
+        overlaps = [t for t in radio.audible if t.overlaps(tx)]
+        # tx itself is audible at radio by construction -- unless the node
+        # moved into range *after* the transmission started (mobility):
+        # then it never heard the preamble and cannot decode.
+        if tx not in overlaps:
+            return
+        k = len(overlaps)
+
+        if k == 1:
+            clean = True
+        else:
+            self.stats.collisions += 1
+            mine = self.propagation.rx_power(tx.sender, radio.node_id)
+            strongest = all(
+                self.propagation.rx_power(t.sender, radio.node_id) < mine
+                for t in overlaps
+                if t is not tx
+            )
+            if not (strongest and self.capture.attempt(k, self.rng)):
+                return
+            self.stats.captures += 1
+            clean = False
+
+        if self.frame_error_rate > 0.0 and self.rng.random() < self.frame_error_rate:
+            self.stats.frame_errors += 1
+            return
+
+        self.stats.note_delivered(tx.frame, radio.node_id, clean)
+        radio._deliver(tx.frame, clean)

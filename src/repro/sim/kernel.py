@@ -1,0 +1,529 @@
+"""Generator-based discrete-event simulation kernel.
+
+The paper's evaluation (Section 7) uses a custom slotted wireless-LAN
+simulator.  This module provides the event-scheduling substrate for our
+re-implementation of that simulator: a small, deterministic, SimPy-flavoured
+kernel built on Python generators.
+
+Design notes
+------------
+* **Time** is a plain number.  The wireless layers above use integer slot
+  counts ("the time is slotted so that the event happens at the beginning of
+  a slot" -- paper, Section 7), but the kernel itself does not care.
+* **Determinism.**  Events scheduled for the same timestamp are ordered by an
+  explicit integer *priority* (lower value runs earlier) and then by
+  insertion order.  The wireless channel delivers frames at
+  :data:`PRIORITY_DELIVERY` while protocol timeouts use
+  :data:`PRIORITY_NORMAL`, so a frame arriving exactly when a wait-for-frame
+  timer expires is always processed *before* the timer -- matching the paper's
+  "wait :math:`T_{CTS}` for the CTS" semantics where a CTS occupying the
+  whole wait window still counts as received.
+* **Processes** are Python generators that ``yield`` events.  A process is
+  itself an event that triggers when the generator returns, so processes can
+  wait on each other.
+* **Failures crash loudly.**  An exception escaping a process that nobody is
+  waiting on is re-raised from :meth:`Environment.run` -- a simulation bug
+  must never be silently swallowed.
+
+The public surface intentionally mirrors a useful subset of SimPy
+(``Environment``, ``Process``, ``Timeout``, ``AnyOf``, ``AllOf``,
+``Interrupt``) so readers familiar with SimPy can follow the MAC state
+machines directly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator, Iterable
+from typing import Any, Callable
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Condition",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "StopKernel",
+    "PRIORITY_URGENT",
+    "PRIORITY_DELIVERY",
+    "PRIORITY_NORMAL",
+]
+
+#: Priority for interrupt delivery and other must-run-first bookkeeping.
+PRIORITY_URGENT = 0
+#: Priority used by the channel when handing received frames to nodes.
+PRIORITY_DELIVERY = 1
+#: Default priority for timeouts and ordinary events.
+PRIORITY_NORMAL = 5
+
+
+class StopKernel(Exception):
+    """Raised internally to stop :meth:`Environment.run` at ``until``."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`.
+
+    The interrupt *cause* (an arbitrary object supplied by the caller) is
+    available as :attr:`cause`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0]
+
+
+# Sentinel distinguishing "not yet triggered" from a triggered None value.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event goes through three states:
+
+    1. *pending* -- created but not triggered;
+    2. *triggered* -- :meth:`succeed` or :meth:`fail` was called and the event
+       sits in the scheduler queue;
+    3. *processed* -- its callbacks have run.
+
+    Waiting on an already-processed event resumes the waiter immediately (on
+    the next kernel step), with the stored value or exception.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_exception", "_scheduled", "defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        #: Callables invoked with this event once it is processed.
+        self.callbacks: list[Callable[["Event"], None]] | None = []
+        self._value: Any = _PENDING
+        self._exception: BaseException | None = None
+        self._scheduled = False
+        #: Set when a failure has been handed to a waiter (so the kernel does
+        #: not also crash the simulation for it).
+        self.defused = False
+
+    # -- state inspection ---------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value or an exception."""
+        return self._value is not _PENDING or self._exception is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event triggered successfully (not failed)."""
+        if not self.triggered:
+            raise RuntimeError(f"{self!r} has not been triggered")
+        return self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The event's value (raises the stored exception for failures)."""
+        if self._exception is not None:
+            raise self._exception
+        if self._value is _PENDING:
+            raise RuntimeError(f"{self!r} has not been triggered")
+        return self._value
+
+    # -- triggering ---------------------------------------------------------
+
+    def succeed(self, value: Any = None, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event successfully with *value*."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} already triggered")
+        self._value = value
+        self.env._schedule(self, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event with an exception."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self.triggered:
+            raise RuntimeError(f"{self!r} already triggered")
+        self._exception = exception
+        self._value = None
+        self.env._schedule(self, priority)
+        return self
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(self)
+        if self._exception is not None and not self.defused:
+            # Nobody consumed the failure: surface it from env.run().
+            self.env._unhandled = self._exception
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers *delay* time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(
+        self,
+        env: "Environment",
+        delay: float,
+        value: Any = None,
+        priority: int = PRIORITY_NORMAL,
+    ):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        self.env._schedule(self, priority, delay)
+
+    @property
+    def triggered(self) -> bool:
+        return True
+
+
+class Initialize(Event):
+    """Internal: starts a freshly created :class:`Process`."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._schedule(self, PRIORITY_URGENT)
+
+
+class Process(Event):
+    """Wrap a generator as a simulation process.
+
+    The process is itself an event: it triggers with the generator's return
+    value when the generator finishes, or fails with the escaping exception.
+    Other processes may therefore ``yield proc`` to join on it.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str | None = None):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        #: The event this process currently waits on (None when running).
+        self._target: Event | None = None
+        self.name = name or getattr(generator, "__name__", "process")
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not exited."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The process must be alive and must not interrupt itself.  The
+        interrupt is delivered as an urgent event, so it preempts any
+        same-time timeout the victim is waiting on.
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"{self.name} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise RuntimeError("a process is not allowed to interrupt itself")
+
+        event = Event(self.env)
+        event._value = None
+        event._exception = Interrupt(cause)
+        event.defused = True  # consumed by the throw below, never "unhandled"
+        event.callbacks.append(self._resume)
+        self.env._schedule(event, PRIORITY_URGENT)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with *event*'s outcome."""
+        env = self.env
+        # Detach from the event we were waiting on (relevant for interrupts:
+        # the original target may still fire later and must not resume us).
+        if self._target is not None and self._target is not event:
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+        self._target = None
+
+        env._active = self
+        try:
+            if event._exception is not None:
+                event.defused = True
+                result = self._generator.throw(event._exception)
+            else:
+                result = self._generator.send(event._value)
+        except StopIteration as exc:
+            env._active = None
+            self._value = exc.value
+            env._schedule(self, PRIORITY_NORMAL)
+            return
+        except Interrupt as exc:
+            # An interrupt the generator chose not to handle terminates the
+            # process; treat it as a failure so joiners see it.
+            env._active = None
+            self._exception = exc
+            env._schedule(self, PRIORITY_NORMAL)
+            return
+        except BaseException as exc:
+            env._active = None
+            self._exception = exc
+            self._value = None
+            env._schedule(self, PRIORITY_NORMAL)
+            return
+        env._active = None
+
+        if not isinstance(result, Event):
+            raise TypeError(
+                f"process {self.name!r} yielded {result!r}; processes may only yield events"
+            )
+        if result.processed:
+            # Already settled: resume on the next step with its outcome.
+            redo = Event(env)
+            redo._value = result._value
+            redo._exception = result._exception
+            if result._exception is not None:
+                redo.defused = True
+                result.defused = True
+            redo.callbacks.append(self._resume)
+            env._schedule(redo, PRIORITY_URGENT)
+            self._target = redo
+        else:
+            result.callbacks.append(self._resume)
+            self._target = result
+
+
+class Condition(Event):
+    """Base for :class:`AnyOf` / :class:`AllOf` composite events.
+
+    The condition's value is an ordered dict mapping each *triggered*
+    sub-event to its value (insertion order = trigger order for ``AnyOf``,
+    original order for ``AllOf``).  A failing sub-event fails the condition.
+    """
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        for ev in self.events:
+            if not isinstance(ev, Event):
+                raise TypeError(f"{ev!r} is not an Event")
+            if ev.env is not env:
+                raise ValueError("all events of a condition must share one environment")
+        self._pending = len(self.events)
+        if self._check_immediate():
+            return
+        for ev in self.events:
+            if ev.processed:
+                # Treat like a fresh trigger on the next step.  The proxy
+                # merely replays an already-settled outcome into the
+                # condition, so a replayed failure is consumed here and
+                # must not crash the kernel as "unhandled".
+                proxy = Event(env)
+                proxy._value = ev._value
+                proxy._exception = ev._exception
+                proxy.defused = True
+                proxy.callbacks.append(lambda _e, orig=ev: self._on_sub_event(orig))
+                env._schedule(proxy, PRIORITY_URGENT)
+            else:
+                ev.callbacks.append(lambda _e, orig=ev: self._on_sub_event(orig))
+
+    def _check_immediate(self) -> bool:
+        """Trigger now if already-settled sub-events satisfy the condition."""
+        raise NotImplementedError
+
+    def _satisfied(self, n_done: int) -> bool:
+        raise NotImplementedError
+
+    def _on_sub_event(self, sub: Event) -> None:
+        if self.triggered:
+            if sub._exception is not None:
+                sub.defused = True
+            return
+        if sub._exception is not None:
+            sub.defused = True
+            self.fail(sub._exception, priority=PRIORITY_URGENT)
+            return
+        self._pending -= 1
+        if self._satisfied(len(self.events) - self._pending):
+            self.succeed(self._collect(), priority=PRIORITY_URGENT)
+
+    def _collect(self) -> dict[Event, Any]:
+        # Only *processed* events count: a Timeout reports `triggered` from
+        # birth (its value is preset), but it has not occurred until its
+        # callbacks run.
+        return {ev: ev._value for ev in self.events if ev.processed and ev._exception is None}
+
+
+class AnyOf(Condition):
+    """Triggers as soon as *any* sub-event triggers."""
+
+    __slots__ = ()
+
+    def _check_immediate(self) -> bool:
+        if not self.events:
+            self.succeed({}, priority=PRIORITY_URGENT)
+            return True
+        for ev in self.events:
+            if ev.processed and ev._exception is None:
+                self.succeed(self._collect(), priority=PRIORITY_URGENT)
+                return True
+        return False
+
+    def _satisfied(self, n_done: int) -> bool:
+        return n_done >= 1
+
+
+class AllOf(Condition):
+    """Triggers once *all* sub-events have triggered."""
+
+    __slots__ = ()
+
+    def _check_immediate(self) -> bool:
+        if not self.events:
+            self.succeed({}, priority=PRIORITY_URGENT)
+            return True
+        # Already-processed sub-events are replayed through proxy events by
+        # Condition.__init__, so the generic countdown handles them.
+        return False
+
+    def _satisfied(self, n_done: int) -> bool:
+        return self._pending == 0
+
+
+class Environment:
+    """The simulation clock and event queue.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of :attr:`now` (default 0).
+    """
+
+    def __init__(self, initial_time: float = 0):
+        self._now = initial_time
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active: Process | None = None
+        self._unhandled: BaseException | None = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently executing (None between steps)."""
+        return self._active
+
+    # -- event factories ----------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None, priority: int = PRIORITY_NORMAL) -> Timeout:
+        """Create a :class:`Timeout` firing after *delay*."""
+        return Timeout(self, delay, value, priority)
+
+    def process(self, generator: Generator, name: str | None = None) -> Process:
+        """Start *generator* as a :class:`Process`."""
+        return Process(self, generator, name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling & execution ----------------------------------------------
+
+    def _schedule(self, event: Event, priority: int, delay: float = 0) -> None:
+        if event._scheduled:
+            raise RuntimeError(f"{event!r} scheduled twice")
+        event._scheduled = True
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (``inf`` when queue is empty)."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event.
+
+        Raises
+        ------
+        IndexError
+            If the queue is empty.
+        """
+        when, _prio, _eid, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - guarded by Timeout's check
+            raise RuntimeError("event scheduled in the past")
+        self._now = when
+        event._run_callbacks()
+        if self._unhandled is not None:
+            exc, self._unhandled = self._unhandled, None
+            raise exc
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until *until* (a time, an event, or queue exhaustion).
+
+        When *until* is an event, returns that event's value.  When it is a
+        time, the clock is advanced exactly to it even if no event is
+        scheduled there.
+        """
+        stop_value: list[Any] = []
+        if isinstance(until, Event):
+            if until.processed:
+                return until.value
+
+            def _stop(ev: Event) -> None:
+                stop_value.append(ev)
+                raise StopKernel()
+
+            until.callbacks.append(_stop)
+            deadline = float("inf")
+        elif until is None:
+            deadline = float("inf")
+        else:
+            deadline = float(until)
+            if deadline < self._now:
+                raise ValueError(f"until={deadline} is in the past (now={self._now})")
+
+        try:
+            while self._queue and self.peek() < deadline:
+                self.step()
+            # Process events scheduled exactly at the deadline boundary?  No:
+            # mirroring SimPy, run(until=t) stops *before* executing events at
+            # time t, leaving them for a subsequent run().
+        except StopKernel:
+            ev = stop_value[0]
+            return ev.value
+        if isinstance(until, Event):
+            raise RuntimeError("simulation ran out of events before `until` triggered")
+        if deadline != float("inf"):
+            self._now = deadline
+        return None

@@ -1,0 +1,68 @@
+"""Human-readable rendering of channel transmission logs.
+
+Turns a :class:`~repro.sim.channel.Channel`'s ``tx_log`` (recorded when
+the channel is built with ``record_transmissions=True``) into the lane
+diagrams of the paper's Figure 2: one lane per station, one column per
+slot.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.sim.channel import Transmission
+from repro.sim.frames import FrameType
+
+__all__ = ["format_timeline", "lane_diagram"]
+
+#: One-character codes per frame type for the lane diagram.
+_CODE = {
+    FrameType.RTS: "R",
+    FrameType.CTS: "C",
+    FrameType.DATA: "D",
+    FrameType.ACK: "A",
+    FrameType.NAK: "N",
+    FrameType.RAK: "K",
+    FrameType.BEACON: "B",
+}
+
+
+def format_timeline(transmissions: Iterable[Transmission]) -> str:
+    """One line per transmission: ``start-end  FRAME``."""
+    lines = []
+    for tx in sorted(transmissions, key=lambda t: (t.start, t.sender)):
+        lines.append(f"{tx.start:6.0f}-{tx.end:<6.0f} node {tx.sender:<3} {tx.frame}")
+    return "\n".join(lines)
+
+
+def lane_diagram(
+    transmissions: Iterable[Transmission],
+    start: float | None = None,
+    end: float | None = None,
+    max_width: int = 120,
+) -> str:
+    """Figure-2-style lanes: rows are stations, columns are slots.
+
+    ``R``/``C``/``D``/``A``/``K``/``N``/``B`` mark RTS/CTS/DATA/ACK/RAK/
+    NAK/BEACON airtime; ``.`` is idle.  Long windows are truncated to
+    *max_width* slots.
+    """
+    txs = sorted(transmissions, key=lambda t: t.start)
+    if not txs:
+        return "(no transmissions)"
+    lo = int(txs[0].start if start is None else start)
+    hi = int(max(t.end for t in txs) if end is None else end)
+    hi = min(hi, lo + max_width)
+    width = hi - lo
+    senders = sorted({t.sender for t in txs})
+    lanes = {s: ["."] * width for s in senders}
+    for tx in txs:
+        code = _CODE.get(tx.frame.ftype, "?")
+        for slot in range(int(tx.start), int(tx.end)):
+            if lo <= slot < hi:
+                lanes[tx.sender][slot - lo] = code
+    header = f"slots {lo}..{hi}  (R=RTS C=CTS D=DATA A=ACK K=RAK N=NAK B=BEACON)"
+    rows = [header]
+    for s in senders:
+        rows.append(f"node {s:>3} |{''.join(lanes[s])}|")
+    return "\n".join(rows)

@@ -1,0 +1,12 @@
+"""Workload generation: node placement and traffic (paper Section 7)."""
+
+from repro.workload.topology import uniform_square, grid_positions, clustered_positions
+from repro.workload.generator import TrafficMix, TrafficGenerator
+
+__all__ = [
+    "uniform_square",
+    "grid_positions",
+    "clustered_positions",
+    "TrafficMix",
+    "TrafficGenerator",
+]

@@ -1,0 +1,51 @@
+"""Node placement.
+
+The paper places 100 nodes uniformly at random in a unit square
+(Section 7).  The grid and clustered generators are extras used by the
+examples and by ablation benchmarks (dense hot-spots stress the protocols
+differently from uniform placement).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["uniform_square", "grid_positions", "clustered_positions"]
+
+
+def uniform_square(n: int, seed: int = 0, side: float = 1.0) -> np.ndarray:
+    """*n* points uniform in an axis-aligned square of the given side."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    rng = np.random.default_rng(seed)
+    return rng.random((n, 2)) * side
+
+
+def grid_positions(rows: int, cols: int, spacing: float, origin=(0.0, 0.0)) -> np.ndarray:
+    """A regular ``rows x cols`` grid with the given spacing."""
+    if rows < 1 or cols < 1:
+        raise ValueError(f"grid needs positive dimensions, got {rows}x{cols}")
+    ox, oy = origin
+    pts = [(ox + c * spacing, oy + r * spacing) for r in range(rows) for c in range(cols)]
+    return np.array(pts, dtype=float)
+
+
+def clustered_positions(
+    n_clusters: int,
+    per_cluster: int,
+    cluster_radius: float,
+    seed: int = 0,
+    side: float = 1.0,
+) -> np.ndarray:
+    """Gaussian clusters with uniformly placed centres, clipped to the square."""
+    if n_clusters < 1 or per_cluster < 1:
+        raise ValueError("need at least one cluster and one node per cluster")
+    rng = np.random.default_rng(seed)
+    centers = rng.random((n_clusters, 2)) * side
+    pts = []
+    for c in centers:
+        offsets = rng.normal(scale=cluster_radius / math.sqrt(2), size=(per_cluster, 2))
+        pts.append(np.clip(c + offsets, 0.0, side))
+    return np.vstack(pts)

@@ -1,0 +1,93 @@
+"""Tests for the Table 1 closed forms."""
+
+import math
+
+import pytest
+
+from repro.analysis.contention import (
+    bmmm_phases_before_data,
+    bmw_phases_before_data,
+    bsma_cts_success_probability,
+    bsma_phases_before_data,
+    lamm_phases_before_data,
+    table1_row,
+)
+from repro.phy.capture import NoCapture, ZorziRaoCapture
+
+
+class TestClosedForms:
+    def test_bmmm_formula(self):
+        assert bmmm_phases_before_data(0.05, 5) == pytest.approx(1 / (1 - 0.05**5))
+
+    def test_lamm_is_bmmm_on_cover_set(self):
+        assert lamm_phases_before_data(0.05, 4) == bmmm_phases_before_data(0.05, 4)
+
+    def test_bmw_formula(self):
+        assert bmw_phases_before_data(0.05) == pytest.approx(1 / 0.95)
+
+    def test_q_zero_means_one_phase(self):
+        assert bmmm_phases_before_data(0.0, 5) == 1.0
+        assert bmw_phases_before_data(0.0) == 1.0
+
+    def test_more_receivers_help_bmmm(self):
+        """More polled receivers -> higher chance of at least one CTS."""
+        assert bmmm_phases_before_data(0.3, 10) < bmmm_phases_before_data(0.3, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bmmm_phases_before_data(1.0, 5)
+        with pytest.raises(ValueError):
+            bmmm_phases_before_data(0.05, 0)
+        with pytest.raises(ValueError):
+            bmw_phases_before_data(-0.1)
+
+
+class TestBsma:
+    def test_success_probability_is_probability(self):
+        p = bsma_cts_success_probability(0.05, 5)
+        assert 0.0 < p < 1.0
+
+    def test_single_receiver_no_collision(self):
+        """With n=1 there is nothing to collide: p = 1-q."""
+        assert bsma_cts_success_probability(0.05, 1) == pytest.approx(0.95)
+
+    def test_no_capture_makes_multi_receiver_bsma_hopeless(self):
+        """Without capture, success requires exactly one CTS attempt."""
+        q = 0.05
+        p = bsma_cts_success_probability(q, 5, NoCapture())
+        expected = math.comb(5, 1) * (1 - q) * q**4
+        assert p == pytest.approx(expected)
+
+    def test_bsma_worse_than_bmmm(self):
+        assert bsma_phases_before_data(0.05, 5) > bmmm_phases_before_data(0.05, 5)
+
+    def test_table1_rows_close_to_paper(self):
+        """Table 1 rows; BSMA depends on the interpolated C_k so allow
+        ~15% while the others are exact."""
+        row1 = table1_row(0.05, 5, 4)
+        assert row1["BMMM"] == pytest.approx(1.00, abs=0.005)
+        assert row1["LAMM"] == pytest.approx(1.00, abs=0.005)
+        assert row1["BMW"] == pytest.approx(1.05, abs=0.005)
+        assert row1["BSMA"] == pytest.approx(3.27, rel=0.15)
+
+        row2 = table1_row(0.05, 10, 6)
+        assert row2["BMMM"] == pytest.approx(1.00, abs=0.005)
+        assert row2["BMW"] == pytest.approx(1.05, abs=0.005)
+        assert row2["BSMA"] == pytest.approx(4.08, rel=0.15)
+
+    def test_bsma_against_monte_carlo(self):
+        """The closed form matches a direct simulation of the CTS round."""
+        import random
+
+        q, n = 0.2, 4
+        cap = ZorziRaoCapture()
+        rng = random.Random(0)
+        trials = 40_000
+        wins = 0
+        for _ in range(trials):
+            k = sum(rng.random() >= q for _ in range(n))
+            if k >= 1 and rng.random() < cap.probability(k):
+                wins += 1
+        assert bsma_cts_success_probability(q, n, cap) == pytest.approx(
+            wins / trials, abs=0.01
+        )

@@ -1,0 +1,110 @@
+"""Tests for the Figure 5 recurrence, including a Monte-Carlo oracle."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.recurrence import (
+    bmw_expected_phases,
+    expected_batch_rounds,
+    figure5_series,
+)
+
+
+def simulate_rounds(n, p, trials, seed=0):
+    """Direct simulation of the batch process: each round every remaining
+    receiver is served independently with probability p."""
+    rng = random.Random(seed)
+    total = 0
+    for _ in range(trials):
+        remaining = n
+        rounds = 0
+        while remaining:
+            rounds += 1
+            remaining = sum(rng.random() >= p for _ in range(remaining))
+        total += rounds
+    return total / trials
+
+
+class TestRecurrence:
+    def test_f0_is_zero(self):
+        assert expected_batch_rounds(0, 0.9) == 0.0
+
+    def test_f1_geometric(self):
+        assert expected_batch_rounds(1, 0.9) == pytest.approx(1 / 0.9)
+
+    def test_f2_closed_form(self):
+        """The paper: f_2 = (3 - 2p) / (p (2 - p))."""
+        for p in (0.3, 0.5, 0.9):
+            expected = (3 - 2 * p) / (p * (2 - p))
+            assert expected_batch_rounds(2, p) == pytest.approx(expected)
+
+    def test_f3_satisfies_papers_equation(self):
+        """f_3 = 1 + C(3,1)p^2(1-p) f_1... wait -- the paper's equation:
+        f_3 = 1 + C(3,1)p^2(1-p)f_1 + C(3,2)p(1-p)^2 f_2 + C(3,3)(1-p)^3 f_3
+        where the binomial counts *successes* j with C(n,j) p^j (1-p)^(n-j)
+        leaving n-j receivers.  Verify our f_3 satisfies it."""
+        p = 0.9
+        f1 = expected_batch_rounds(1, p)
+        f2 = expected_batch_rounds(2, p)
+        f3 = expected_batch_rounds(3, p)
+        rhs = (
+            1
+            + 3 * p**2 * (1 - p) * f1
+            + 3 * p * (1 - p) ** 2 * f2
+            + (1 - p) ** 3 * f3
+        )
+        assert f3 == pytest.approx(rhs)
+
+    def test_p_one_single_round(self):
+        assert expected_batch_rounds(7, 1.0) == 1.0
+
+    def test_monotone_in_n(self):
+        p = 0.9
+        vals = [expected_batch_rounds(n, p) for n in range(1, 15)]
+        assert all(a <= b for a, b in zip(vals, vals[1:]))
+
+    def test_sublinear_growth(self):
+        """The paper's observation: f_n grows far slower than n."""
+        p = 0.9
+        assert expected_batch_rounds(20, p) < 3.0
+        assert bmw_expected_phases(20, p) > 20.0
+
+    def test_matches_monte_carlo(self):
+        for n, p in ((3, 0.9), (6, 0.7), (10, 0.5)):
+            sim = simulate_rounds(n, p, trials=20_000, seed=n)
+            assert expected_batch_rounds(n, p) == pytest.approx(sim, rel=0.03)
+
+    @given(st.integers(1, 12), st.floats(0.2, 0.99))
+    def test_bounds(self, n, p):
+        f = expected_batch_rounds(n, p)
+        # At least one round; at most what serving them one by one costs.
+        assert 1.0 <= f <= n / p + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_batch_rounds(-1, 0.9)
+        with pytest.raises(ValueError):
+            expected_batch_rounds(3, 0.0)
+        with pytest.raises(ValueError):
+            bmw_expected_phases(3, 1.5)
+
+
+class TestFigure5Series:
+    def test_structure(self):
+        s = figure5_series(range(1, 11), p=0.9)
+        assert set(s) == {"n", "BMW", "BMMM", "LAMM"}
+        assert len(s["BMW"]) == 10
+
+    def test_bmmm_equals_lamm(self):
+        s = figure5_series(range(1, 8))
+        assert s["BMMM"] == s["LAMM"]
+
+    def test_bmw_dominates(self):
+        s = figure5_series(range(2, 15))
+        assert all(b > m for b, m in zip(s["BMW"], s["BMMM"]))
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            figure5_series([0, 1])

@@ -1,0 +1,95 @@
+"""Tests for the timeout-headroom analysis, cross-checked against the
+simulator's observed Figure 6(a) collapse."""
+
+import pytest
+
+from repro.analysis.saturation import (
+    max_batch_receivers,
+    max_bmw_receivers,
+    retry_headroom,
+    saturation_report,
+)
+from repro.analysis.timing import bmmm_multicast_time, expected_contention_cost
+
+
+class TestLimits:
+    def test_single_round_limit_at_table2_timeout(self):
+        """With c ~ 10.5 and T = 100: c + 4n + 5 <= 100 -> n ~ 21."""
+        n = max_batch_receivers(100.0)
+        c = expected_contention_cost()
+        assert bmmm_multicast_time(n, c) <= 100.0
+        assert bmmm_multicast_time(n + 1, c) > 100.0
+        assert 18 <= n <= 22
+
+    def test_two_round_limit_is_much_smaller(self):
+        one = max_batch_receivers(100.0, rounds=1)
+        two = max_batch_receivers(100.0, rounds=2)
+        assert two < one
+        assert two <= one // 2 + 2
+
+    def test_bmw_limit_far_below_bmmm(self):
+        assert max_bmw_receivers(100.0) < max_batch_receivers(100.0)
+        assert max_bmw_receivers(100.0, overhearing=False) <= max_bmw_receivers(100.0)
+
+    def test_larger_timeout_raises_all_limits(self):
+        assert max_batch_receivers(300.0) > max_batch_receivers(100.0)
+        assert max_bmw_receivers(300.0) > max_bmw_receivers(100.0)
+
+    def test_headroom_monotone_decreasing_in_n(self):
+        hs = [retry_headroom(n, 100.0) for n in range(1, 22)]
+        assert all(a > b for a, b in zip(hs, hs[1:]))
+
+    def test_headroom_below_two_near_the_observed_cliff(self):
+        """The full-scale Figure 6(a) run shows BMMM's delivery collapsing
+        between ~14 and ~20 mean neighbors; the headroom model puts the
+        'no second round' threshold in exactly that band."""
+        assert retry_headroom(14, 100.0) > 1.2
+        assert retry_headroom(20, 100.0) < 1.2
+
+    def test_report_structure(self):
+        rep = saturation_report()
+        assert rep["bmmm_max_single_round"] > rep["bmmm_max_two_rounds"]
+        assert rep["timeout_slots"] == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_batch_receivers(0)
+        with pytest.raises(ValueError):
+            max_bmw_receivers(-1)
+        with pytest.raises(ValueError):
+            retry_headroom(0, 100)
+
+
+class TestAgainstSimulation:
+    def test_oversized_group_times_out_even_on_clean_channel(self):
+        """A broadcast to more receivers than max_batch_receivers allows
+        (for the realized contention cost) cannot complete in time even
+        without any contention."""
+        from repro.mac.base import MacConfig, MessageKind, MessageStatus
+        from repro.core.bmmm import BmmmMac
+        from repro.sim.network import Network
+        from tests.conftest import star_positions
+
+        n_over = max_batch_receivers(100.0, contention_cost=0.0) + 1
+        net = Network(
+            star_positions(n_over), 0.2, BmmmMac,
+            seed=0, mac_config=MacConfig(timeout_slots=100.0),
+        )
+        req = net.mac(0).submit(MessageKind.BROADCAST)
+        net.run(until=500)
+        assert req.status is MessageStatus.TIMED_OUT
+
+    def test_fitting_group_completes(self):
+        from repro.mac.base import MacConfig, MessageKind, MessageStatus
+        from repro.core.bmmm import BmmmMac
+        from repro.sim.network import Network
+        from tests.conftest import star_positions
+
+        n_fit = max_batch_receivers(100.0) - 2  # leave backoff slack
+        net = Network(
+            star_positions(n_fit), 0.2, BmmmMac,
+            seed=0, mac_config=MacConfig(timeout_slots=100.0),
+        )
+        req = net.mac(0).submit(MessageKind.BROADCAST)
+        net.run(until=500)
+        assert req.status is MessageStatus.COMPLETED

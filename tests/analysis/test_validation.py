@@ -1,0 +1,95 @@
+"""Tests for fitting the Section 6 model to simulation output -- the
+quantitative form of the paper's "Figure 5 coincides with Figure 9(a)"."""
+
+import pytest
+
+from repro.analysis.recurrence import expected_batch_rounds
+from repro.analysis.validation import (
+    fit_round_success,
+    observed_phases_by_group_size,
+    phase_model_error,
+)
+from repro.experiments.config import SimulationSettings, protocol_class
+from repro.experiments.runner import run_raw
+from repro.mac.base import MacRequest, MessageKind, MessageStatus
+
+
+def fake_request(n_dests, rounds, phases, status=MessageStatus.COMPLETED,
+                 kind=MessageKind.MULTICAST):
+    req = MacRequest(
+        src=0, kind=kind, dests=frozenset(range(1, n_dests + 1)),
+        arrival=0.0, deadline=100.0, seq=1,
+    )
+    req.status = status
+    req.rounds = rounds
+    req.contention_phases = phases
+    req.finish_time = 50.0
+    return req
+
+
+class TestFitRoundSuccess:
+    def test_all_single_round_means_p_one(self):
+        reqs = [fake_request(5, rounds=1, phases=1) for _ in range(10)]
+        assert fit_round_success(reqs) == 1.0
+
+    def test_extra_rounds_lower_p(self):
+        reqs = [fake_request(5, rounds=2, phases=2) for _ in range(10)]
+        assert fit_round_success(reqs) == pytest.approx(5 / 6)
+
+    def test_unicast_and_unfinished_ignored(self):
+        reqs = [
+            fake_request(1, 1, 1, kind=MessageKind.UNICAST),
+            fake_request(5, 3, 3, status=MessageStatus.TIMED_OUT),
+            fake_request(4, 1, 1),
+        ]
+        assert fit_round_success(reqs) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fit_round_success([])
+
+
+class TestObservedPhases:
+    def test_binning(self):
+        reqs = [fake_request(3, 1, 1) for _ in range(6)] + [
+            fake_request(5, 1, 2) for _ in range(6)
+        ]
+        obs = observed_phases_by_group_size(reqs, min_count=5)
+        assert obs == {3: 1.0, 5: 2.0}
+
+    def test_small_bins_dropped(self):
+        reqs = [fake_request(3, 1, 1) for _ in range(2)]
+        assert observed_phases_by_group_size(reqs, min_count=5) == {}
+
+    def test_error_computation(self):
+        obs = {2: expected_batch_rounds(2, 0.9)}
+        err = phase_model_error(obs, 0.9)
+        assert err[2] == pytest.approx(0.0)
+        with pytest.raises(ValueError):
+            phase_model_error({}, 0.9)
+
+
+class TestPaperCoincidenceClaim:
+    def test_figure5_matches_figure9_data(self):
+        """Fit p from a full BMMM run at the Table-2 operating point and
+        check the f_n recurrence tracks the measured phase counts within
+        ~35% at every well-populated group size (the paper's 'coincide
+        very well', with tolerance for our modest seed count and the
+        model's idealizations)."""
+        settings = SimulationSettings(horizon=8000)
+        mac_cls, kwargs = protocol_class("BMMM")
+        requests = []
+        for seed in range(3):
+            requests.extend(run_raw(mac_cls, settings, seed, kwargs).requests)
+
+        p_hat = fit_round_success(requests)
+        assert 0.8 <= p_hat <= 1.0, f"implausible fitted p = {p_hat}"
+
+        observed = observed_phases_by_group_size(requests, min_count=15)
+        assert len(observed) >= 3, "not enough group-size bins to compare"
+        errors = phase_model_error(observed, p_hat)
+        for n, err in errors.items():
+            assert abs(err) < 0.35, (
+                f"n={n}: model {expected_batch_rounds(n, p_hat):.2f} vs "
+                f"measured {observed[n]:.2f} (err {err:+.0%})"
+            )

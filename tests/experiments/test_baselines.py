@@ -1,0 +1,75 @@
+"""Tests for golden-result regression checking."""
+
+import json
+
+import pytest
+
+from repro.experiments.baselines import compare_to_golden, load_golden
+from repro.experiments.figures import FigureResult
+from repro.experiments.report import save_json
+
+
+def result(name="figX", ys=(0.5, 0.6)):
+    return FigureResult(name, "x", "y", [1.0, 2.0], {"BMMM": list(ys)})
+
+
+class TestCompareToGolden:
+    def test_identical_matches(self, tmp_path):
+        r = result()
+        save_json(r, tmp_path)
+        report = compare_to_golden(result(), tmp_path)
+        assert report.ok
+        assert "matches golden" in report.summary()
+
+    def test_deviation_detected(self, tmp_path):
+        save_json(result(), tmp_path)
+        report = compare_to_golden(result(ys=(0.5, 0.7)), tmp_path)
+        assert not report.ok
+        assert len(report.discrepancies) == 1
+        d = report.discrepancies[0]
+        assert d.series == "BMMM" and d.index == 1
+        assert d.rel_error == pytest.approx(abs(0.7 - 0.6) / 0.6)
+        assert "BMMM[1]" in report.summary()
+
+    def test_tolerance_allows_noise(self, tmp_path):
+        save_json(result(), tmp_path)
+        report = compare_to_golden(result(ys=(0.51, 0.61)), tmp_path, rel_tol=0.05)
+        assert report.ok
+
+    def test_missing_golden_is_structure_error(self, tmp_path):
+        report = compare_to_golden(result(), tmp_path)
+        assert not report.ok
+        assert report.structure_errors
+
+    def test_missing_series_detected(self, tmp_path):
+        r = result()
+        r.series["LAMM"] = [0.9, 0.9]
+        save_json(r, tmp_path)
+        report = compare_to_golden(result(), tmp_path)
+        assert report.missing_series == ["LAMM"]
+
+    def test_xs_length_mismatch(self, tmp_path):
+        save_json(result(), tmp_path)
+        bad = FigureResult("figX", "x", "y", [1.0], {"BMMM": [0.5]})
+        report = compare_to_golden(bad, tmp_path)
+        assert report.structure_errors
+
+    def test_load_golden_roundtrip(self, tmp_path):
+        save_json(result(), tmp_path)
+        data = load_golden("figX", tmp_path)
+        assert data["series"]["BMMM"] == [0.5, 0.6]
+
+
+class TestDeterministicRegression:
+    def test_recomputed_figure_matches_itself(self, tmp_path):
+        """A figure recomputed at the same seeds is bit-identical --
+        the determinism guarantee expressed as a golden check."""
+        from repro.experiments.config import SimulationSettings
+        from repro.experiments.figures import figure6a
+
+        tiny = SimulationSettings(n_nodes=15, horizon=600, message_rate=0.003)
+        first = figure6a(settings=tiny, seeds=[0], node_counts=(12, 15))
+        save_json(first, tmp_path)
+        second = figure6a(settings=tiny, seeds=[0], node_counts=(12, 15))
+        report = compare_to_golden(second, tmp_path, rel_tol=0.0)
+        assert report.ok, report.summary()

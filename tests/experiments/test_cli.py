@@ -1,0 +1,83 @@
+"""Tests for the CLI and report rendering."""
+
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+from repro.experiments.figures import FigureResult, figure5, table1
+from repro.experiments.report import format_figure, format_table1, save_json
+
+
+class TestParser:
+    def test_all_experiments_listed(self):
+        for name in ("table1", "figure2", "figure5", "figure6a", "figure10b"):
+            assert name in EXPERIMENTS
+
+    def test_parses_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.experiment == "table1"
+        assert args.seeds == 3
+
+    def test_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure99"])
+
+
+class TestMain:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "BSMA" in out and "(paper)" in out
+
+    def test_figure5_with_json_output(self, tmp_path, capsys):
+        assert main(["figure5", "--out", str(tmp_path)]) == 0
+        payload = json.loads((tmp_path / "figure5.json").read_text())
+        assert payload["name"] == "figure5"
+        assert "BMW" in payload["series"]
+
+
+class TestReport:
+    def test_format_figure_contains_series(self):
+        text = format_figure(figure5(5))
+        assert "BMW" in text and "BMMM" in text
+        assert "figure5" in text
+
+    def test_format_table1(self):
+        text = format_table1(table1())
+        assert text.count("(paper)") == 2
+
+    def test_save_json_roundtrip(self, tmp_path):
+        r = FigureResult("t", "x", "y", [1.0], {"A": [0.5]}, meta={"k": 1})
+        path = save_json(r, tmp_path)
+        data = json.loads(path.read_text())
+        assert data["series"]["A"] == [0.5]
+        assert data["meta"]["k"] == 1
+
+
+class TestCliFlags:
+    def test_jobs_flag_parsed(self):
+        args = build_parser().parse_args(["figure6a", "--jobs", "4"])
+        assert args.jobs == 4
+
+    def test_chart_flag(self, capsys):
+        assert main(["figure5", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "o=BMW" in out  # the ASCII chart rendered
+
+    def test_report_choice_accepted(self):
+        args = build_parser().parse_args(["report"])
+        assert args.experiment == "report"
+
+
+class TestLaneDiagramTruncation:
+    def test_max_width_truncates(self):
+        from repro.sim.trace import lane_diagram
+        from repro.sim.channel import Transmission
+        from repro.sim.frames import Frame, FrameType
+
+        f = Frame(FrameType.RTS, src=0, ra=1)
+        txs = [Transmission(f, 0, i * 10, i * 10 + 1) for i in range(50)]
+        out = lane_diagram(txs, max_width=40)
+        lane = next(l for l in out.splitlines() if l.startswith("node"))
+        assert len(lane) <= len("node   0 |") + 40 + 1

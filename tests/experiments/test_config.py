@@ -1,0 +1,55 @@
+"""Tests for simulation settings and the protocol registry."""
+
+import pytest
+
+from repro.core.bmmm import BmmmMac
+from repro.core.lamm import LammMac
+from repro.experiments.config import (
+    PROTOCOLS,
+    SIMULATED_PROTOCOLS,
+    SimulationSettings,
+    protocol_class,
+)
+
+
+class TestSimulationSettings:
+    def test_defaults_match_table2(self):
+        s = SimulationSettings()
+        assert s.n_nodes == 100
+        assert s.radius == 0.2
+        assert s.horizon == 10_000
+        assert s.timeout_slots == 100.0
+        assert s.message_rate == 0.0005
+        assert s.threshold == 0.9
+        assert (s.mix.unicast, s.mix.multicast, s.mix.broadcast) == (0.2, 0.4, 0.4)
+
+    def test_with_creates_modified_copy(self):
+        s = SimulationSettings()
+        t = s.with_(n_nodes=40, message_rate=0.001)
+        assert t.n_nodes == 40 and t.message_rate == 0.001
+        assert s.n_nodes == 100  # original untouched
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SimulationSettings().n_nodes = 5
+
+
+class TestRegistry:
+    def test_all_protocols_registered(self):
+        assert set(PROTOCOLS) == {
+            "802.11", "TangGerla", "BSMA", "BMW", "BMMM", "LAMM", "LACS", "LBP",
+        }
+
+    def test_simulated_subset(self):
+        assert set(SIMULATED_PROTOCOLS) <= set(PROTOCOLS)
+        assert set(SIMULATED_PROTOCOLS) == {"BMW", "BSMA", "BMMM", "LAMM"}
+
+    def test_lookup(self):
+        cls, kwargs = protocol_class("BMMM")
+        assert cls is BmmmMac
+        cls, _ = protocol_class("LAMM")
+        assert cls is LammMac
+
+    def test_unknown_protocol(self):
+        with pytest.raises(KeyError, match="unknown protocol"):
+            protocol_class("FOO")

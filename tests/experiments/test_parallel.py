@@ -1,0 +1,54 @@
+"""Tests for the multiprocess experiment runner."""
+
+import pytest
+
+from repro.experiments.config import SimulationSettings
+from repro.experiments.parallel import (
+    compare_parallel,
+    run_protocol_parallel,
+    run_seeds_parallel,
+)
+from repro.experiments.runner import run_protocol
+
+SMALL = SimulationSettings(n_nodes=20, horizon=800, message_rate=0.003)
+
+
+class TestParallelEqualsSerial:
+    def test_identical_metrics(self):
+        """Parallel execution must be bit-for-bit identical to serial."""
+        serial = run_protocol("BMMM", SMALL, seeds=range(3))
+        parallel = run_protocol_parallel("BMMM", SMALL, seeds=range(3), processes=2)
+        assert parallel.delivery_rate == serial.delivery_rate
+        assert parallel.avg_contention_phases == serial.avg_contention_phases
+        assert parallel.avg_completion_time == serial.avg_completion_time
+        assert parallel.average_degree == serial.average_degree
+
+    def test_single_process_shortcut(self):
+        a = run_protocol_parallel("BMW", SMALL, seeds=[0, 1], processes=1)
+        b = run_protocol("BMW", SMALL, seeds=[0, 1])
+        assert a.delivery_rate == b.delivery_rate
+
+    def test_order_preserved(self):
+        """Per-seed results come back in seed order, not completion order."""
+        metrics, degrees = run_seeds_parallel("BMMM", SMALL, [3, 1, 2], processes=2)
+        solo = [
+            run_seeds_parallel("BMMM", SMALL, [s], processes=1)[0][0].delivery_rate
+            for s in (3, 1, 2)
+        ]
+        assert [m.delivery_rate for m in metrics] == solo
+
+    def test_threshold_override(self):
+        strict, _ = run_seeds_parallel("BSMA", SMALL, [0], processes=1, threshold=1.0)
+        lax, _ = run_seeds_parallel("BSMA", SMALL, [0], processes=1, threshold=0.1)
+        assert lax[0].delivery_rate >= strict[0].delivery_rate
+
+
+class TestCompareParallel:
+    def test_runs_all_protocols(self):
+        out = compare_parallel(["BMMM", "BMW"], SMALL, seeds=[0], processes=1)
+        assert set(out) == {"BMMM", "BMW"}
+        assert all(0.0 <= m.delivery_rate <= 1.0 for m in out.values())
+
+    def test_empty_seed_list_rejected(self):
+        with pytest.raises(ValueError):
+            run_protocol_parallel("BMMM", SMALL, seeds=[], processes=1)

@@ -1,0 +1,160 @@
+"""Unit + property tests for circular-arc algebra."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.arcs import Arc, ArcUnion, normalize_deg
+
+angles = st.floats(min_value=-720.0, max_value=720.0, allow_nan=False)
+extents = st.floats(min_value=1e-6, max_value=360.0, allow_nan=False)
+
+
+class TestNormalize:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [(0, 0), (360, 0), (-90, 270), (450, 90), (720, 0), (-360, 0)],
+    )
+    def test_values(self, raw, expected):
+        assert normalize_deg(raw) == pytest.approx(expected)
+
+    @given(angles)
+    def test_always_in_range(self, a):
+        n = normalize_deg(a)
+        assert 0.0 <= n < 360.0
+
+    @given(angles)
+    def test_idempotent(self, a):
+        assert normalize_deg(normalize_deg(a)) == pytest.approx(normalize_deg(a))
+
+
+class TestArc:
+    def test_from_endpoints_simple(self):
+        arc = Arc.from_endpoints(10, 50)
+        assert arc.start == pytest.approx(10)
+        assert arc.extent == pytest.approx(40)
+
+    def test_from_endpoints_wrapping(self):
+        arc = Arc.from_endpoints(350, 10)
+        assert arc.start == pytest.approx(350)
+        assert arc.extent == pytest.approx(20)
+
+    def test_equal_endpoints_is_full_circle(self):
+        assert Arc.from_endpoints(42, 42).is_full
+
+    def test_full(self):
+        arc = Arc.full()
+        assert arc.is_full
+        for a in (0, 90, 359.9):
+            assert arc.contains(a)
+
+    def test_contains_interior_and_endpoints(self):
+        arc = Arc.from_endpoints(30, 60)
+        assert arc.contains(45) and arc.contains(30) and arc.contains(60)
+        assert not arc.contains(90) and not arc.contains(0)
+
+    def test_contains_wrapping(self):
+        arc = Arc.from_endpoints(350, 10)
+        assert arc.contains(355) and arc.contains(5) and arc.contains(0)
+        assert not arc.contains(180)
+
+    def test_intervals_non_wrapping(self):
+        assert Arc(10, 20).intervals() == [(10, 30)]
+
+    def test_intervals_wrapping_splits(self):
+        ivs = Arc(350, 20).intervals()
+        assert ivs == [(350, 360.0), (0.0, 10.0)]
+
+    def test_invalid_extent(self):
+        with pytest.raises(ValueError):
+            Arc(0, 0)
+        with pytest.raises(ValueError):
+            Arc(0, 361)
+
+    @given(angles, extents)
+    def test_midpoint_always_contained(self, start, extent):
+        arc = Arc(start, extent)
+        assert arc.contains(arc.start + extent / 2)
+
+    @given(angles, st.floats(min_value=1.0, max_value=358.0))
+    def test_antipode_of_midpoint_outside_small_arcs(self, start, extent):
+        arc = Arc(start, extent)
+        outside = arc.start + extent / 2 + 180.0
+        if extent < 178.0:  # margin for the EPS slack
+            assert not arc.contains(outside)
+
+
+class TestArcUnion:
+    def test_empty_union_not_full(self):
+        u = ArcUnion()
+        assert not u.is_full_circle
+        assert u.measure() == 0.0
+        assert u.gaps() == [(0.0, 360.0)]
+
+    def test_single_full_arc(self):
+        u = ArcUnion([Arc.full()])
+        assert u.is_full_circle
+        assert u.measure() == 360.0
+        assert u.gaps() == []
+
+    def test_two_halves_make_full(self):
+        u = ArcUnion([Arc(0, 180), Arc(180, 180)])
+        assert u.is_full_circle
+
+    def test_three_thirds_make_full(self):
+        u = ArcUnion([Arc(0, 120), Arc(120, 120), Arc(240, 120)])
+        assert u.is_full_circle
+
+    def test_gap_detected(self):
+        u = ArcUnion([Arc(0, 120), Arc(120, 120)])
+        assert not u.is_full_circle
+        gaps = u.gaps()
+        assert len(gaps) == 1
+        lo, hi = gaps[0]
+        assert lo == pytest.approx(240) and hi == pytest.approx(360)
+
+    def test_wrap_around_coverage(self):
+        u = ArcUnion([Arc(270, 180), Arc(90, 180)])
+        assert u.is_full_circle
+
+    def test_overlapping_arcs_measure(self):
+        u = ArcUnion([Arc(0, 100), Arc(50, 100)])
+        assert u.measure() == pytest.approx(150)
+
+    def test_contains(self):
+        u = ArcUnion([Arc(0, 90), Arc(180, 90)])
+        assert u.contains(45) and u.contains(200)
+        assert not u.contains(135) and not u.contains(300)
+
+    @given(st.lists(st.tuples(angles, extents), min_size=1, max_size=8))
+    def test_measure_bounds(self, raw):
+        u = ArcUnion([Arc(s, e) for s, e in raw])
+        m = u.measure()
+        assert 0.0 < m <= 360.0
+        # The union is at least as big as its largest member.
+        assert m >= max(e for _, e in raw) - 1e-6
+
+    @given(st.lists(st.tuples(angles, extents), min_size=1, max_size=8))
+    def test_full_circle_implies_measure_360(self, raw):
+        # Only one direction holds exactly: a union can measure
+        # 360 - epsilon (a sliver gap) without being the full circle.
+        u = ArcUnion([Arc(s, e) for s, e in raw])
+        if u.is_full_circle:
+            assert u.measure() == 360.0
+        elif u.measure() < 360.0 - 1e-3:
+            assert not u.is_full_circle
+
+    @given(st.lists(st.tuples(angles, extents), min_size=1, max_size=6), angles)
+    def test_contains_consistent_with_membership(self, raw, probe):
+        u = ArcUnion([Arc(s, e) for s, e in raw])
+        if u.contains(probe):
+            assert any(Arc(s, e).contains(probe) for s, e in raw)
+
+    @given(st.lists(st.tuples(angles, extents), min_size=1, max_size=6), angles)
+    def test_gap_points_not_contained(self, raw, _probe):
+        u = ArcUnion([Arc(s, e) for s, e in raw])
+        for lo, hi in u.gaps():
+            if hi - lo > 1e-3:
+                mid = (lo + hi) / 2
+                assert not u.contains(mid)

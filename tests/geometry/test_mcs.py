@@ -1,0 +1,128 @@
+"""Tests for minimum cover set computation (Theorem 2's role)."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.cover import is_cover_set
+from repro.geometry.mcs import forced_members, greedy_cover_set, minimum_cover_set
+
+R = 0.2
+
+coords = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+points = st.tuples(coords, coords)
+
+
+def brute_force_minimum(ids, pos, radius):
+    ids = sorted(ids)
+    for size in range(0, len(ids) + 1):
+        for combo in itertools.combinations(ids, size):
+            if is_cover_set(combo, ids, pos, radius):
+                return set(combo)
+    raise AssertionError("full set must always be a cover set")
+
+
+def ring(center, r, k):
+    return [
+        (center[0] + r * math.cos(2 * math.pi * i / k), center[1] + r * math.sin(2 * math.pi * i / k))
+        for i in range(k)
+    ]
+
+
+class TestForcedMembers:
+    def test_lone_node_is_forced(self):
+        pos = np.array([[0.5, 0.5]])
+        assert forced_members([0], pos, R) == {0}
+
+    def test_far_apart_nodes_all_forced(self):
+        pos = np.array([[0.1, 0.5], [0.9, 0.5]])
+        assert forced_members([0, 1], pos, R) == {0, 1}
+
+    def test_surrounded_node_not_forced(self):
+        p = (0.5, 0.5)
+        pos = np.array([list(p)] + [list(q) for q in ring(p, 0.05, 6)])
+        forced = forced_members(list(range(7)), pos, R)
+        assert 0 not in forced
+
+
+class TestGreedyCoverSet:
+    def test_empty(self):
+        assert greedy_cover_set([], np.zeros((0, 2)), R) == set()
+
+    def test_single(self):
+        assert greedy_cover_set([0], np.array([[0.5, 0.5]]), R) == {0}
+
+    def test_result_is_always_a_cover_set(self):
+        rng = np.random.default_rng(5)
+        for trial in range(20):
+            pos = 0.5 + 0.18 * (rng.random((8, 2)) - 0.5)
+            ids = list(range(8))
+            out = greedy_cover_set(ids, pos, R)
+            assert is_cover_set(out, ids, pos, R)
+
+    def test_colocated_cluster_collapses_to_one(self):
+        pos = np.array([[0.5, 0.5]] * 5)
+        out = greedy_cover_set(range(5), pos, R)
+        assert len(out) == 1
+
+    def test_surrounded_center_excluded(self):
+        p = (0.5, 0.5)
+        pos = np.array([list(p)] + [list(q) for q in ring(p, 0.05, 6)])
+        out = greedy_cover_set(range(7), pos, R)
+        assert is_cover_set(out, range(7), pos, R)
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(11)
+        pos = rng.random((10, 2)) * 0.3 + 0.3
+        a = greedy_cover_set(range(10), pos, R)
+        b = greedy_cover_set(range(10), pos, R)
+        assert a == b
+
+
+class TestMinimumCoverSet:
+    def test_empty(self):
+        assert minimum_cover_set([], np.zeros((0, 2)), R) == set()
+
+    def test_matches_brute_force_on_small_sets(self):
+        rng = np.random.default_rng(7)
+        for trial in range(15):
+            n = int(rng.integers(1, 7))
+            pos = 0.5 + 0.15 * (rng.random((n, 2)) - 0.5)
+            ids = list(range(n))
+            ours = minimum_cover_set(ids, pos, R)
+            brute = brute_force_minimum(ids, pos, R)
+            assert len(ours) == len(brute), f"trial {trial}: {ours} vs {brute}"
+            assert is_cover_set(ours, ids, pos, R)
+
+    def test_never_larger_than_greedy(self):
+        rng = np.random.default_rng(13)
+        for _ in range(10):
+            pos = 0.5 + 0.18 * (rng.random((9, 2)) - 0.5)
+            ids = list(range(9))
+            exact = minimum_cover_set(ids, pos, R)
+            greedy = greedy_cover_set(ids, pos, R)
+            assert len(exact) <= len(greedy)
+
+    def test_falls_back_to_greedy_beyond_limit(self):
+        rng = np.random.default_rng(17)
+        pos = rng.random((30, 2)) * 0.2 + 0.4
+        ids = list(range(30))
+        out = minimum_cover_set(ids, pos, R, max_exact=10)
+        assert out == greedy_cover_set(ids, pos, R)
+
+    def test_forced_members_always_included(self):
+        pos = np.array([[0.1, 0.5], [0.9, 0.5], [0.12, 0.5]])
+        out = minimum_cover_set([0, 1, 2], pos, R)
+        assert 1 in out  # isolated node must cover itself
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(points, min_size=1, max_size=6))
+    def test_property_valid_and_minimal(self, pts):
+        pos = np.array(pts)
+        ids = list(range(len(pts)))
+        out = minimum_cover_set(ids, pos, R)
+        assert is_cover_set(out, ids, pos, R)
+        assert len(out) == len(brute_force_minimum(ids, pos, R))

@@ -1,0 +1,41 @@
+"""End-to-end determinism and cross-protocol workload identity."""
+
+from repro.experiments.config import SimulationSettings, protocol_class
+from repro.experiments.runner import run_raw
+from repro.mac.base import MessageStatus
+
+SMALL = SimulationSettings(n_nodes=30, horizon=1500, message_rate=0.002)
+
+
+class TestDeterminism:
+    def test_identical_seed_identical_outcome_per_protocol(self):
+        for proto in ("BMMM", "LAMM", "BMW", "BSMA"):
+            mac_cls, kwargs = protocol_class(proto)
+            a = run_raw(mac_cls, SMALL, seed=5, mac_kwargs=kwargs)
+            b = run_raw(mac_cls, SMALL, seed=5, mac_kwargs=kwargs)
+            sig_a = [(r.status, r.finish_time, r.contention_phases) for r in a.requests]
+            sig_b = [(r.status, r.finish_time, r.contention_phases) for r in b.requests]
+            assert sig_a == sig_b, f"{proto} is not deterministic"
+
+    def test_same_workload_across_protocols(self):
+        """Different protocols at the same seed face identical request
+        sequences (same arrivals, sources, destinations)."""
+        seqs = {}
+        for proto in ("BMMM", "BMW"):
+            mac_cls, kwargs = protocol_class(proto)
+            raw = run_raw(mac_cls, SMALL, seed=9, mac_kwargs=kwargs)
+            seqs[proto] = [(r.arrival, r.src, r.kind, r.dests) for r in raw.requests]
+        assert seqs["BMMM"] == seqs["BMW"]
+
+    def test_every_request_reaches_a_terminal_state_eventually(self):
+        """Requests arriving well before the horizon are all finished by
+        horizon + timeout slack (no stuck MAC state machines)."""
+        mac_cls, kwargs = protocol_class("BMMM")
+        raw = run_raw(mac_cls, SMALL, seed=2, mac_kwargs=kwargs)
+        for req in raw.requests:
+            if req.arrival < SMALL.horizon - 3 * SMALL.timeout_slots:
+                assert req.status in (
+                    MessageStatus.COMPLETED,
+                    MessageStatus.TIMED_OUT,
+                    MessageStatus.ABANDONED,
+                ), f"request from t={req.arrival} stuck in {req.status}"

@@ -1,0 +1,142 @@
+"""Property-based fuzzing of whole simulations.
+
+Hypothesis generates small random topologies, traffic patterns and channel
+conditions; for every registered protocol we assert the invariants that
+must hold regardless of scenario:
+
+* the simulation never crashes (no double-transmit, no stuck process,
+  no negative-time scheduling);
+* every request reaches a terminal state within its deadline + service
+  slack;
+* protocol beliefs never exceed physics: an ACKed receiver really decoded
+  the data (ACKs don't materialize from nothing on a clean channel), and
+  reliable-protocol completions imply full ground-truth delivery;
+* contention-phase and round counters are consistent.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.experiments.config import PROTOCOLS
+from repro.mac.base import MessageKind, MessageStatus
+from repro.phy.capture import ZorziRaoCapture
+from repro.sim.network import Network
+
+RELIABLE = ("BMW", "BMMM", "LAMM")
+
+protocol_names = st.sampled_from(sorted(PROTOCOLS))
+
+scenarios = st.fixed_dictionaries(
+    {
+        "n_nodes": st.integers(4, 14),
+        "placement_seed": st.integers(0, 10_000),
+        "net_seed": st.integers(0, 10_000),
+        "capture": st.booleans(),
+        "fer": st.sampled_from([0.0, 0.0, 0.1]),  # mostly clean
+        "messages": st.lists(
+            st.fixed_dictionaries(
+                {
+                    "src": st.integers(0, 13),
+                    "kind": st.sampled_from(list(MessageKind)),
+                    "delay": st.integers(0, 60),
+                }
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+    }
+)
+
+
+def build_and_run(proto: str, sc: dict):
+    mac_cls, kwargs = PROTOCOLS[proto]
+    rng = np.random.default_rng(sc["placement_seed"])
+    pos = rng.random((sc["n_nodes"], 2)) * 0.6 + 0.2
+    net = Network(
+        pos,
+        0.2,
+        mac_cls,
+        capture=ZorziRaoCapture() if sc["capture"] else None,
+        frame_error_rate=sc["fer"],
+        seed=sc["net_seed"],
+        mac_kwargs=kwargs,
+    )
+    reqs = []
+
+    def feeder():
+        msg_rng = np.random.default_rng(sc["net_seed"])
+        for m in sc["messages"]:
+            yield net.env.timeout(m["delay"])
+            src = m["src"] % sc["n_nodes"]
+            neigh = sorted(net.propagation.neighbors[src])
+            if not neigh:
+                continue
+            if m["kind"] is MessageKind.UNICAST:
+                dests = frozenset([neigh[int(msg_rng.integers(len(neigh)))]])
+            elif m["kind"] is MessageKind.BROADCAST:
+                dests = frozenset(neigh)
+            else:
+                size = int(msg_rng.integers(1, len(neigh) + 1))
+                dests = frozenset(
+                    msg_rng.choice(neigh, size=size, replace=False).tolist()
+                )
+            reqs.append(net.mac(src).submit(m["kind"], dests, timeout=150))
+
+    net.env.process(feeder())
+    net.run(until=1200)
+    return net, reqs
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(proto=protocol_names, sc=scenarios)
+def test_simulation_invariants(proto, sc):
+    net, reqs = build_and_run(proto, sc)
+
+    terminal = (MessageStatus.COMPLETED, MessageStatus.TIMED_OUT, MessageStatus.ABANDONED)
+    for req in reqs:
+        # 1. Termination: deadline 150 << 1200-slot run.
+        assert req.status in terminal, f"{proto}: {req.status} not terminal"
+        assert req.finish_time is not None
+        # 2. Counter sanity.
+        assert req.contention_phases >= 1 or req.status is MessageStatus.TIMED_OUT
+        assert req.rounds >= 0
+        # 3. Beliefs vs physics: ACKed (not inferred) receivers decoded it.
+        got = net.channel.stats.data_receipts.get(req.msg_id, set())
+        hard_acked = req.acked - req.inferred
+        assert hard_acked <= got | req.dests  # ACKers are intended receivers
+        if sc["fer"] == 0.0:
+            assert hard_acked <= got, f"{proto}: ACK without reception"
+        # 4. Reliable completions deliver (collision-only channel).
+        if (
+            proto in RELIABLE
+            and sc["fer"] == 0.0
+            and req.status is MessageStatus.COMPLETED
+            and req.kind is not MessageKind.UNICAST
+        ):
+            assert req.dests <= got, f"{proto}: completed without delivering"
+        # 5. Timing sanity.
+        assert req.finish_time >= req.arrival
+        if req.status is MessageStatus.COMPLETED:
+            assert req.finish_time <= req.deadline + 1e-9
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(sc=scenarios)
+def test_lamm_inference_sound_under_fuzz(sc):
+    sc = dict(sc)
+    sc["fer"] = 0.0  # Theorem 3's assumption
+    net, reqs = build_and_run("LAMM", sc)
+    for req in reqs:
+        if req.inferred:
+            clean = net.channel.stats.clean_data_receipts.get(req.msg_id, set())
+            assert req.inferred <= clean
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(sc=scenarios, proto=protocol_names)
+def test_determinism_under_fuzz(sc, proto):
+    _, a = build_and_run(proto, sc)
+    _, b = build_and_run(proto, sc)
+    sig = lambda rs: [(r.status, r.finish_time, r.contention_phases) for r in rs]
+    assert sig(a) == sig(b)

@@ -1,0 +1,107 @@
+"""DCF unicast edge cases: retry exhaustion, NAV suppression, CTS loss."""
+
+import numpy as np
+import pytest
+
+from repro.core.bmmm import BmmmMac
+from repro.mac.base import MacConfig, MessageKind, MessageStatus
+from repro.mac.contention import ContentionParams
+from repro.protocols.plain import PlainMulticastMac
+from repro.sim.frames import FrameType
+from repro.sim.network import Network
+
+from tests.conftest import make_star, star_positions
+
+
+class TestRetryExhaustion:
+    def test_unicast_abandoned_after_retry_limit(self):
+        """A destination that never answers (blocked by a long foreign
+        NAV) exhausts the retry limit -> ABANDONED, not an infinite loop."""
+        net = make_star(
+            PlainMulticastMac,
+            2,
+            mac_config=MacConfig(
+                timeout_slots=100_000.0,  # timeout must not fire first
+                unicast_retry_limit=3,
+                contention=ContentionParams(cw_min=2, cw_max=4),
+            ),
+        )
+        # Block node 1's responses with a NAV owned by a phantom exchange.
+        net.mac(1).nav.set(50_000, owner=99)
+        req = net.mac(0).submit(MessageKind.UNICAST, frozenset({1}))
+        net.run(until=10_000)
+        assert req.status is MessageStatus.ABANDONED
+        # RTS sent retry_limit + 1 times, never answered.
+        assert net.channel.stats.frames_sent[FrameType.RTS] == 4
+        assert FrameType.CTS not in net.channel.stats.frames_sent
+
+    def test_retry_uses_wider_windows(self):
+        """Backoff attempts escalate: later RTS retries are spaced more
+        widely on average (BEB)."""
+        net = make_star(
+            PlainMulticastMac,
+            2,
+            record_transmissions=True,
+            mac_config=MacConfig(
+                timeout_slots=100_000.0,
+                unicast_retry_limit=5,
+                contention=ContentionParams(cw_min=4, cw_max=512),
+            ),
+        )
+        net.mac(1).nav.set(50_000, owner=99)
+        net.mac(0).submit(MessageKind.UNICAST, frozenset({1}))
+        net.run(until=20_000)
+        rts_times = [
+            t.start for t in net.channel.tx_log if t.frame.ftype is FrameType.RTS
+        ]
+        gaps = [b - a for a, b in zip(rts_times, rts_times[1:])]
+        assert len(gaps) >= 4
+        # Mean of the last two gaps exceeds the first gap (BEB trend).
+        assert sum(gaps[-2:]) / 2 > gaps[0]
+
+
+class TestDataAckLoss:
+    def test_lost_ack_triggers_data_retry(self):
+        """Hidden-terminal jam on the ACK: the sender retries the whole
+        exchange and eventually completes; the receiver dedupes by seq."""
+        # 0-1-2 chain: 2 jams at 1... to target the ACK specifically we
+        # just run contended traffic and rely on statistics.
+        pos = np.array([[0.2, 0.5], [0.36, 0.5], [0.52, 0.5]])
+        completed = retried = 0
+        for seed in range(8):
+            net = Network(pos, 0.2, PlainMulticastMac, seed=seed)
+            for _ in range(6):
+                net.mac(2).submit(MessageKind.UNICAST, frozenset({1}), timeout=3000)
+            req = net.mac(0).submit(MessageKind.UNICAST, frozenset({1}), timeout=3000)
+            net.run(until=3000)
+            if req.status is MessageStatus.COMPLETED:
+                completed += 1
+                if req.contention_phases > 1:
+                    retried += 1
+        assert completed >= 5, "most unicasts should get through"
+        assert retried >= 1, "at least one should have needed a retry"
+
+    def test_duplicate_data_not_double_counted(self):
+        """received_data is a set: retransmitted seq numbers are merged."""
+        net = make_star(BmmmMac, 2)
+        r1 = net.mac(0).submit(MessageKind.UNICAST, frozenset({1}))
+        net.run(until=100)
+        key_count = sum(1 for (src, _) in net.mac(1).received_data if src == 0)
+        assert key_count == 1
+
+
+class TestNavSuppression:
+    def test_blocked_receiver_sends_no_cts(self):
+        net = make_star(PlainMulticastMac, 2)
+        net.mac(1).nav.set(500, owner=99)
+        req = net.mac(0).submit(MessageKind.UNICAST, frozenset({1}), timeout=100)
+        net.run(until=300)
+        assert req.status is not MessageStatus.COMPLETED
+        assert FrameType.CTS not in net.channel.stats.frames_sent
+
+    def test_same_owner_nav_does_not_block(self):
+        net = make_star(PlainMulticastMac, 2)
+        net.mac(1).nav.set(500, owner=0)  # owned by the very sender
+        req = net.mac(0).submit(MessageKind.UNICAST, frozenset({1}), timeout=200)
+        net.run(until=400)
+        assert req.status is MessageStatus.COMPLETED

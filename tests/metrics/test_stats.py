@@ -1,0 +1,85 @@
+"""Tests for the confidence-interval helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.stats import MeanCI, mean_ci, t_quantile_95
+
+
+class TestTQuantile:
+    def test_known_values(self):
+        assert t_quantile_95(1) == pytest.approx(12.706)
+        assert t_quantile_95(10) == pytest.approx(2.228)
+        assert t_quantile_95(30) == pytest.approx(2.042)
+
+    def test_large_dof_approaches_normal(self):
+        assert t_quantile_95(1000) == pytest.approx(1.96)
+
+    def test_monotone_decreasing(self):
+        qs = [t_quantile_95(d) for d in range(1, 60)]
+        assert all(a >= b for a, b in zip(qs, qs[1:]))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            t_quantile_95(0)
+
+
+class TestMeanCI:
+    def test_simple(self):
+        ci = mean_ci([1.0, 2.0, 3.0])
+        assert ci.mean == 2.0
+        assert ci.n == 3
+        # s = 1, se = 1/sqrt(3), t(2) = 4.303
+        assert ci.half_width == pytest.approx(4.303 / math.sqrt(3))
+
+    def test_single_value_infinite_width(self):
+        ci = mean_ci([5.0])
+        assert ci.mean == 5.0
+        assert math.isinf(ci.half_width)
+
+    def test_constant_values_zero_width(self):
+        ci = mean_ci([7.0] * 10)
+        assert ci.half_width == 0.0
+        assert ci.low == ci.high == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_ci([])
+
+    def test_overlap(self):
+        a = MeanCI(1.0, 0.5, 5)
+        b = MeanCI(1.6, 0.2, 5)
+        c = MeanCI(3.0, 0.2, 5)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_str(self):
+        assert "n=3" in str(mean_ci([1.0, 2.0, 3.0]))
+
+    @given(st.lists(st.floats(-100, 100), min_size=2, max_size=30))
+    def test_mean_inside_interval(self, values):
+        ci = mean_ci(values)
+        assert ci.low <= ci.mean <= ci.high
+
+    @given(st.lists(st.floats(-100, 100), min_size=2, max_size=15))
+    def test_more_data_never_widens_much(self, values):
+        """Duplicating the sample (same variance) shrinks the interval."""
+        ci1 = mean_ci(values)
+        ci2 = mean_ci(values * 2)
+        assert ci2.half_width <= ci1.half_width + 1e-9
+
+    def test_coverage_simulation(self):
+        """~95% of intervals from a known distribution cover the truth."""
+        import random
+
+        rng = random.Random(0)
+        hits = 0
+        trials = 400
+        for _ in range(trials):
+            sample = [rng.gauss(10.0, 2.0) for _ in range(8)]
+            ci = mean_ci(sample)
+            if ci.low <= 10.0 <= ci.high:
+                hits += 1
+        assert hits / trials == pytest.approx(0.95, abs=0.04)

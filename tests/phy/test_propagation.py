@@ -1,0 +1,88 @@
+"""Unit tests for the unit-disk propagation model."""
+
+import numpy as np
+import pytest
+
+from repro.phy.propagation import UnitDiskPropagation, distance_matrix, neighbor_sets
+
+
+class TestDistanceMatrix:
+    def test_simple_distances(self):
+        dm = distance_matrix(np.array([[0.0, 0.0], [3.0, 4.0]]))
+        assert dm[0, 1] == pytest.approx(5.0)
+        assert dm[1, 0] == pytest.approx(5.0)
+        assert dm[0, 0] == 0.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        pos = rng.random((20, 2))
+        dm = distance_matrix(pos)
+        assert np.allclose(dm, dm.T)
+        assert np.allclose(np.diag(dm), 0.0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            distance_matrix(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            distance_matrix(np.zeros(5))
+
+
+class TestNeighborSets:
+    def test_chain_adjacency(self):
+        # Spacing 0.15, radius 0.2: only adjacent nodes are neighbors.
+        pos = np.array([[0.0, 0.0], [0.15, 0.0], [0.30, 0.0]])
+        ns = neighbor_sets(pos, 0.2)
+        assert ns[0] == {1}
+        assert ns[1] == {0, 2}
+        assert ns[2] == {1}
+
+    def test_boundary_distance_is_neighbor(self):
+        pos = np.array([[0.0, 0.0], [0.2, 0.0]])
+        ns = neighbor_sets(pos, 0.2)
+        assert ns[0] == {1}
+
+    def test_no_self_neighbor(self):
+        pos = np.array([[0.5, 0.5], [0.5, 0.5]])
+        ns = neighbor_sets(pos, 0.2)
+        assert 0 not in ns[0]
+        assert ns[0] == {1}  # co-located nodes hear each other
+
+    def test_radius_must_be_positive(self):
+        with pytest.raises(ValueError):
+            neighbor_sets(np.zeros((2, 2)), 0.0)
+
+    def test_symmetric_relation(self):
+        rng = np.random.default_rng(3)
+        pos = rng.random((30, 2))
+        ns = neighbor_sets(pos, 0.25)
+        for i in range(30):
+            for j in ns[i]:
+                assert i in ns[j]
+
+
+class TestUnitDiskPropagation:
+    def test_rx_power_monotone_in_distance(self):
+        pos = np.array([[0.0, 0.0], [0.05, 0.0], [0.1, 0.0]])
+        prop = UnitDiskPropagation(pos, 0.2)
+        assert prop.rx_power(1, 0) > prop.rx_power(2, 0)
+
+    def test_colocated_power_is_infinite(self):
+        pos = np.array([[0.0, 0.0], [0.0, 0.0]])
+        prop = UnitDiskPropagation(pos, 0.2)
+        assert prop.rx_power(0, 1) == float("inf")
+
+    def test_average_degree_star(self):
+        pos = np.array([[0.5, 0.5], [0.55, 0.5], [0.45, 0.5]])
+        prop = UnitDiskPropagation(pos, 0.2)
+        # All pairwise distances <= 0.1 < 0.2: complete graph, degree 2.
+        assert prop.average_degree() == pytest.approx(2.0)
+
+    def test_average_degree_empty(self):
+        prop = UnitDiskPropagation(np.zeros((0, 2)), 0.2)
+        assert prop.average_degree() == 0.0
+
+    def test_are_neighbors(self):
+        pos = np.array([[0.0, 0.0], [0.1, 0.0], [0.5, 0.5]])
+        prop = UnitDiskPropagation(pos, 0.2)
+        assert prop.are_neighbors(0, 1)
+        assert not prop.are_neighbors(0, 2)

@@ -1,0 +1,65 @@
+"""Unit tests for frame abstractions."""
+
+import pytest
+
+from repro.sim.frames import DATA_SLOTS, Frame, FrameType, GROUP_ADDR, SIGNAL_SLOTS
+
+
+class TestFrameType:
+    def test_control_classification(self):
+        assert FrameType.RTS.is_control
+        assert FrameType.CTS.is_control
+        assert FrameType.ACK.is_control
+        assert FrameType.NAK.is_control
+        assert FrameType.RAK.is_control
+        assert not FrameType.DATA.is_control
+
+
+class TestFrame:
+    def test_airtime_table2(self):
+        """Table 2: signal time 1 slot, data 5 slots."""
+        data = Frame(FrameType.DATA, src=0, ra=GROUP_ADDR)
+        assert data.airtime == DATA_SLOTS == 5
+        for ft in (FrameType.RTS, FrameType.CTS, FrameType.ACK, FrameType.NAK, FrameType.RAK):
+            assert Frame(ft, src=0, ra=1).airtime == SIGNAL_SLOTS == 1
+
+    def test_rak_has_ack_format_airtime(self):
+        """Figure 1: the RAK frame has the same format (size) as an ACK."""
+        rak = Frame(FrameType.RAK, src=0, ra=1)
+        ack = Frame(FrameType.ACK, src=1, ra=0)
+        assert rak.airtime == ack.airtime
+
+    def test_group_addressing(self):
+        f = Frame(FrameType.DATA, src=0, ra=GROUP_ADDR, group=frozenset({1, 2}))
+        assert f.is_group_addressed
+        assert f.addressed_to(1)
+        assert f.addressed_to(2)
+        assert not f.addressed_to(3)
+
+    def test_individual_addressing(self):
+        f = Frame(FrameType.RTS, src=0, ra=7)
+        assert not f.is_group_addressed
+        assert f.addressed_to(7)
+        assert not f.addressed_to(0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Frame(FrameType.RTS, src=0, ra=1, duration=-1)
+
+    def test_invalid_ra_rejected(self):
+        with pytest.raises(ValueError):
+            Frame(FrameType.RTS, src=0, ra=-2)
+
+    def test_uids_unique(self):
+        frames = [Frame(FrameType.RTS, src=0, ra=1) for _ in range(10)]
+        assert len({f.uid for f in frames}) == 10
+
+    def test_frames_immutable(self):
+        f = Frame(FrameType.RTS, src=0, ra=1)
+        with pytest.raises(AttributeError):
+            f.src = 5
+
+    def test_str_smoke(self):
+        f = Frame(FrameType.CTS, src=2, ra=0, duration=7, seq=3)
+        s = str(f)
+        assert "CTS" in s and "2->0" in s

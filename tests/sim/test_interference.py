@@ -1,0 +1,139 @@
+"""Tests for the extended interference model (audible beyond decodable).
+
+The paper's model has interference range == transmission range; these
+tests cover the generalized channel and what it does to the paper's
+assumptions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.lamm import LammMac
+from repro.mac.base import MessageKind, MessageStatus
+from repro.phy.propagation import UnitDiskPropagation
+from repro.protocols.plain import PlainMulticastMac
+from repro.sim.channel import Channel
+from repro.sim.frames import Frame, FrameType, GROUP_ADDR
+from repro.sim.kernel import Environment
+from repro.sim.network import Network
+
+
+def make(positions, factor, radius=0.2):
+    env = Environment()
+    prop = UnitDiskPropagation(np.asarray(positions, float), radius, interference_factor=factor)
+    ch = Channel(env, prop)
+    radios = [ch.attach(i) for i in range(prop.n_nodes)]
+    return env, ch, radios
+
+
+class TestPropagation:
+    def test_factor_one_shares_neighbor_sets(self):
+        prop = UnitDiskPropagation(np.random.default_rng(0).random((10, 2)), 0.2)
+        assert prop.interferers is prop.neighbors
+
+    def test_larger_factor_widens_interferers(self):
+        pos = np.array([[0.0, 0.5], [0.25, 0.5]])  # 0.25 apart
+        prop = UnitDiskPropagation(pos, 0.2, interference_factor=1.5)
+        assert 1 not in prop.neighbors[0]
+        assert 1 in prop.interferers[0]
+
+    def test_factor_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            UnitDiskPropagation(np.zeros((2, 2)), 0.2, interference_factor=0.5)
+
+    def test_mobility_updates_interferers(self):
+        pos = np.array([[0.0, 0.5], [0.9, 0.5]])
+        prop = UnitDiskPropagation(pos, 0.2, interference_factor=1.5)
+        prop.update_positions(np.array([[0.0, 0.5], [0.25, 0.5]]))
+        assert 1 in prop.interferers[0]
+        assert 1 not in prop.neighbors[0]
+
+
+class TestChannelSemantics:
+    def test_interference_only_station_cannot_decode(self):
+        """A station at 1.2R hears energy (carrier sense) but gets no
+        frame."""
+        env, ch, radios = make([[0.0, 0.5], [0.24, 0.5]], factor=1.5)
+        log = []
+        radios[1].add_listener(lambda f, c: log.append(f))
+        ch.transmit(radios[0], Frame(FrameType.RTS, src=0, ra=1))
+        assert radios[1].is_busy  # audible
+        env.run(until=10)
+        assert log == []  # not decodable
+
+    def test_far_interferer_destroys_reception(self):
+        """Receiver at R from its sender; interferer at 1.3R from the
+        receiver: under the paper's model (factor 1) the frame is clean,
+        with factor 1.5 it collides."""
+        pos = [[0.5, 0.5], [0.65, 0.5], [0.89, 0.5]]  # rx at 0.15; intf at 0.24
+        for factor, expect in ((1.0, 1), (1.5, 0)):
+            env, ch, radios = make(pos, factor=factor)
+            log = []
+            radios[1].add_listener(lambda f, c: log.append(f))
+            ch.transmit(radios[0], Frame(FrameType.RTS, src=0, ra=1))
+            ch.transmit(radios[2], Frame(FrameType.RTS, src=2, ra=1))
+            env.run(until=10)
+            assert len(log) == expect, f"factor {factor}"
+
+    def test_carrier_sense_defers_to_interference_range_sources(self):
+        """A contender defers to energy it cannot decode (real CSMA)."""
+        from repro.mac.contention import Contender, ContentionParams
+        from repro.mac.nav import Nav
+        import random
+
+        env, ch, radios = make([[0.0, 0.5], [0.25, 0.5]], factor=1.5)
+        ch.transmit(radios[0], Frame(FrameType.DATA, src=0, ra=GROUP_ADDR))
+        done = []
+
+        def proc():
+            c = Contender(env, radios[1], Nav(env), random.Random(0), ContentionParams(cw_min=1))
+            yield from c.contention_phase()
+            done.append(env.now)
+
+        env.process(proc())
+        env.run(until=50)
+        assert done and done[0] >= 5 + 2  # waited out the 5-slot frame + DIFS
+
+
+class TestTheoremUnderModelViolation:
+    def test_lamm_inference_can_break_beyond_unit_disk(self):
+        """Theorems 1/3 assume interference range == decode range.  With a
+        wider interference range a hidden far interferer can corrupt a
+        covered receiver while all ACKers stay clean -- LAMM's inference
+        is then wrong.  We only require the machinery to keep running and
+        the violation *rate* to stay modest; its mere possibility is the
+        point (documented in EXPERIMENTS.md)."""
+        total_inferred = violations = 0
+        for seed in range(6):
+            rng = np.random.default_rng(seed)
+            pos = rng.random((40, 2))
+            net = Network(pos, 0.2, LammMac, seed=seed, interference_factor=1.6)
+            from repro.workload.generator import TrafficGenerator
+
+            gen = TrafficGenerator(40, net.propagation.neighbors, 2500, 0.002, seed=seed)
+            reqs = gen.inject(net)
+            net.run(until=2500)
+            for req in reqs:
+                if req.inferred:
+                    got = net.channel.stats.data_receipts.get(req.msg_id, set())
+                    total_inferred += len(req.inferred)
+                    violations += len(req.inferred - got)
+        # The machinery runs; violations are possible but not rampant.
+        assert total_inferred > 0
+        assert violations <= total_inferred * 0.5
+
+    def test_paper_model_remains_sound(self):
+        """Same scenario at factor 1.0: zero violations (Theorem 3)."""
+        for seed in range(3):
+            rng = np.random.default_rng(seed)
+            pos = rng.random((40, 2))
+            net = Network(pos, 0.2, LammMac, seed=seed, interference_factor=1.0)
+            from repro.workload.generator import TrafficGenerator
+
+            gen = TrafficGenerator(40, net.propagation.neighbors, 2500, 0.002, seed=seed)
+            reqs = gen.inject(net)
+            net.run(until=2500)
+            for req in reqs:
+                if req.inferred:
+                    clean = net.channel.stats.clean_data_receipts.get(req.msg_id, set())
+                    assert req.inferred <= clean

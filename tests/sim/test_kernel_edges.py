@@ -1,0 +1,181 @@
+"""Additional kernel edge cases beyond the core suite."""
+
+import pytest
+
+from repro.sim.kernel import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Interrupt,
+    PRIORITY_DELIVERY,
+)
+
+
+class TestEventEdges:
+    def test_two_waiters_on_one_event(self):
+        env = Environment()
+        ev = env.event()
+        got = []
+
+        def waiter(tag):
+            got.append((tag, (yield ev)))
+
+        env.process(waiter("a"))
+        env.process(waiter("b"))
+        env.timeout(3).callbacks.append(lambda _e: ev.succeed("v"))
+        env.run()
+        assert sorted(got) == [("a", "v"), ("b", "v")]
+
+    def test_failed_event_kills_all_waiters_that_reraise(self):
+        env = Environment()
+        ev = env.event()
+        outcomes = []
+
+        def waiter(tag):
+            try:
+                yield ev
+            except RuntimeError:
+                outcomes.append(tag)
+
+        env.process(waiter("a"))
+        env.process(waiter("b"))
+        env.timeout(1).callbacks.append(lambda _e: ev.fail(RuntimeError("x")))
+        env.run()
+        assert sorted(outcomes) == ["a", "b"]
+
+    def test_chained_processes(self):
+        """A chain of processes each joining the previous one."""
+        env = Environment()
+
+        def leaf():
+            yield env.timeout(2)
+            return 1
+
+        def wrap(inner):
+            val = yield inner
+            return val + 1
+
+        p = env.process(leaf())
+        for _ in range(5):
+            p = env.process(wrap(p))
+        assert env.run(until=p) == 6
+        assert env.now == 2
+
+    def test_process_completing_instantly(self):
+        env = Environment()
+
+        def instant():
+            return 42
+            yield  # pragma: no cover
+
+        p = env.process(instant())
+        assert env.run(until=p) == 42
+
+
+class TestConditionEdges:
+    def test_any_of_failed_processed_subevent_fails_condition(self):
+        env = Environment()
+        bad = env.event()
+        bad.fail(ValueError("pre-failed"))
+        bad.defused = True
+        env.run(until=1)  # process the failure
+        caught = []
+
+        def waiter():
+            try:
+                yield AnyOf(env, [bad, env.timeout(10)])
+            except ValueError:
+                caught.append(env.now)
+
+        env.process(waiter())
+        env.run(until=20)
+        assert caught == [1]
+
+    def test_all_of_duplicated_event(self):
+        env = Environment()
+        t = env.timeout(3, value="x")
+        done = []
+
+        def waiter():
+            got = yield AllOf(env, [t, t])
+            done.append(list(got.values()))
+
+        env.process(waiter())
+        env.run()
+        assert done == [["x"]]
+
+    def test_nested_conditions(self):
+        env = Environment()
+        done = []
+
+        def waiter():
+            inner = AnyOf(env, [env.timeout(5, value="slow"), env.timeout(2, value="fast")])
+            outer = AllOf(env, [inner, env.timeout(3, value="mid")])
+            yield outer
+            done.append(env.now)
+
+        env.process(waiter())
+        env.run()
+        assert done == [3]
+
+
+class TestInterruptEdges:
+    def test_double_interrupt_delivers_both(self):
+        env = Environment()
+        causes = []
+
+        def victim():
+            for _ in range(2):
+                try:
+                    yield env.timeout(100)
+                except Interrupt as i:
+                    causes.append(i.cause)
+
+        def attacker(v):
+            yield env.timeout(1)
+            v.interrupt("first")
+            yield env.timeout(1)
+            v.interrupt("second")
+
+        v = env.process(victim())
+        env.process(attacker(v))
+        env.run()
+        assert causes == ["first", "second"]
+
+    def test_interrupt_during_condition_wait(self):
+        env = Environment()
+        log = []
+
+        def victim():
+            try:
+                yield AnyOf(env, [env.timeout(50), env.timeout(60)])
+            except Interrupt:
+                log.append(env.now)
+
+        def attacker(v):
+            yield env.timeout(5)
+            v.interrupt()
+
+        v = env.process(victim())
+        env.process(attacker(v))
+        env.run()
+        assert log == [5]
+
+
+class TestPriorities:
+    def test_delivery_priority_beats_normal_within_conditions(self):
+        """An AnyOf of a delivery-priority event and a normal timeout at
+        the same instant resolves to the delivery (the radio.expect
+        pattern)."""
+        env = Environment()
+        got = []
+
+        def waiter():
+            frame_ev = env.timeout(5, value="frame", priority=PRIORITY_DELIVERY)
+            timer = env.timeout(5, value="timer")
+            result = yield AnyOf(env, [frame_ev, timer])
+            got.append(list(result.values())[0])
+
+        env.process(waiter())
+        env.run()
+        assert got == ["frame"]

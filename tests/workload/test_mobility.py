@@ -1,0 +1,143 @@
+"""Tests for the random-waypoint mobility extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.lamm import LammMac
+from repro.mac.base import MessageKind, MessageStatus
+from repro.mac.beacons import BeaconConfig
+from repro.phy.propagation import UnitDiskPropagation
+from repro.protocols.plain import PlainMulticastMac
+from repro.sim.network import Network
+from repro.workload.generator import TrafficGenerator
+from repro.workload.mobility import RandomWaypointMobility
+from repro.workload.topology import uniform_square
+
+
+class TestPropagationUpdate:
+    def test_update_recomputes_neighbors(self):
+        pos = np.array([[0.0, 0.0], [0.5, 0.0]])
+        prop = UnitDiskPropagation(pos, 0.2)
+        assert not prop.are_neighbors(0, 1)
+        prop.update_positions(np.array([[0.0, 0.0], [0.1, 0.0]]))
+        assert prop.are_neighbors(0, 1)
+        assert prop.distances[0, 1] == pytest.approx(0.1)
+
+    def test_shape_mismatch_rejected(self):
+        prop = UnitDiskPropagation(np.zeros((3, 2)), 0.2)
+        with pytest.raises(ValueError):
+            prop.update_positions(np.zeros((4, 2)))
+
+
+class TestRandomWaypoint:
+    def test_zero_speed_never_moves(self):
+        net = Network(uniform_square(10, seed=1), 0.2, PlainMulticastMac, seed=1)
+        before = net.propagation.positions.copy()
+        RandomWaypointMobility(net, speed=0.0, epoch=20, seed=1)
+        net.run(until=500)
+        assert np.array_equal(net.propagation.positions, before)
+
+    def test_nodes_move_and_stay_in_arena(self):
+        net = Network(uniform_square(10, seed=2), 0.2, PlainMulticastMac, seed=2)
+        before = net.propagation.positions.copy()
+        mob = RandomWaypointMobility(net, speed=0.001, epoch=20, seed=2)
+        net.run(until=1000)
+        after = net.propagation.positions
+        assert not np.array_equal(after, before)
+        assert (after >= 0).all() and (after <= 1).all()
+        # Epochs at t=20,40,...,980; run(until=1000) stops before t=1000.
+        assert mob.updates == 49
+
+    def test_displacement_bounded_by_speed(self):
+        net = Network(uniform_square(10, seed=3), 0.2, PlainMulticastMac, seed=3)
+        before = net.propagation.positions.copy()
+        mob = RandomWaypointMobility(net, speed=0.0005, epoch=10, seed=3)
+        net.run(until=100)
+        moved = np.hypot(*(net.propagation.positions - before).T)
+        assert (moved <= 0.0005 * 100 + 1e-9).all()
+        assert mob.displacement_per_epoch() == pytest.approx(0.005)
+
+    def test_pause_at_waypoint(self):
+        # A node that reaches its waypoint must rest `pause` slots.
+        net = Network(np.array([[0.5, 0.5]]), 0.2, PlainMulticastMac, seed=4)
+        mob = RandomWaypointMobility(net, speed=1.0, epoch=10, pause=1000, seed=4)
+        net.run(until=30)  # first epoch: jumps to waypoint, then pauses
+        at_waypoint = net.propagation.positions[0].copy()
+        net.run(until=300)  # still paused
+        assert np.array_equal(net.propagation.positions[0], at_waypoint)
+
+    def test_validation(self):
+        net = Network(uniform_square(2, seed=0), 0.2, PlainMulticastMac, seed=0)
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(net, speed=-1)
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(net, speed=0.1, epoch=0)
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(net, speed=0.1, pause=-1)
+
+
+class TestMobileSimulations:
+    def test_traffic_clipped_to_current_neighbors(self):
+        """Messages whose precomputed destinations drifted out of range are
+        clipped or dropped, never rejected by the MAC."""
+        net = Network(uniform_square(30, seed=5), 0.2, PlainMulticastMac, seed=5)
+        RandomWaypointMobility(net, speed=0.002, epoch=25, seed=5)
+        gen = TrafficGenerator(30, net.propagation.neighbors, 3000, 0.002, seed=5)
+        reqs = gen.inject(net)
+        net.run(until=3000)  # must not raise
+        assert len(reqs) <= len(gen.schedule)
+        for req in reqs:
+            assert req.dests  # never empty
+
+    def test_mobile_network_completes_messages(self):
+        net = Network(uniform_square(30, seed=6), 0.2, LammMac, seed=6)
+        RandomWaypointMobility(net, speed=0.0005, epoch=25, seed=6)
+        gen = TrafficGenerator(30, net.propagation.neighbors, 3000, 0.001, seed=6)
+        reqs = gen.inject(net)
+        net.run(until=3000)
+        done = [r for r in reqs if r.status is MessageStatus.COMPLETED]
+        assert done, "slow mobility should not prevent completions"
+
+    def test_beacon_tables_track_movement(self):
+        """After nodes drift apart, beacon tables eventually expire the
+        stale entries."""
+        pos = np.array([[0.2, 0.5], [0.3, 0.5]])
+        net = Network(
+            pos, 0.2, PlainMulticastMac, seed=7,
+            beacons=BeaconConfig(period=40, jitter=4, lifetime=130),
+        )
+        # Drive node 1 away manually at t=500.
+        def drift():
+            yield net.env.timeout(500)
+            net.propagation.update_positions(np.array([[0.2, 0.5], [0.9, 0.5]]))
+
+        net.env.process(drift())
+        net.run(until=400)
+        assert 1 in net.beacon_services[0].table.neighbors()
+        net.run(until=1000)
+        assert 1 not in net.beacon_services[0].table.neighbors()
+
+    def test_in_flight_reception_conservative(self):
+        """A node moving into range after a frame started does not decode
+        it (missed the preamble)."""
+        from repro.sim.frames import Frame, FrameType, GROUP_ADDR
+
+        pos = np.array([[0.2, 0.5], [0.9, 0.5]])
+        net = Network(pos, 0.2, PlainMulticastMac, seed=8)
+        got = []
+        net.mac(1).radio.add_listener(lambda f, c: got.append(f))
+
+        def scenario():
+            # Start a long DATA frame at t=0 from node 0 (node 1 far away).
+            net.channel.transmit(
+                net.mac(0).radio,
+                Frame(FrameType.DATA, src=0, ra=GROUP_ADDR, group=frozenset({1})),
+            )
+            yield net.env.timeout(2)
+            # Node 1 teleports next to node 0 mid-frame.
+            net.propagation.update_positions(np.array([[0.2, 0.5], [0.25, 0.5]]))
+            yield net.env.timeout(10)
+
+        net.env.process(scenario())
+        net.run(until=20)
+        assert got == []

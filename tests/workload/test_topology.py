@@ -1,0 +1,64 @@
+"""Tests for node placement generators."""
+
+import numpy as np
+import pytest
+
+from repro.workload.topology import clustered_positions, grid_positions, uniform_square
+
+
+class TestUniformSquare:
+    def test_shape_and_bounds(self):
+        pos = uniform_square(100, seed=1)
+        assert pos.shape == (100, 2)
+        assert (pos >= 0).all() and (pos <= 1).all()
+
+    def test_deterministic(self):
+        assert np.array_equal(uniform_square(50, seed=3), uniform_square(50, seed=3))
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(uniform_square(50, seed=1), uniform_square(50, seed=2))
+
+    def test_side_scaling(self):
+        pos = uniform_square(100, seed=1, side=2.0)
+        assert pos.max() > 1.0
+
+    def test_zero_nodes(self):
+        assert uniform_square(0).shape == (0, 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_square(-1)
+
+
+class TestGrid:
+    def test_counts_and_spacing(self):
+        pos = grid_positions(3, 4, 0.1)
+        assert pos.shape == (12, 2)
+        assert pos[1][0] - pos[0][0] == pytest.approx(0.1)
+
+    def test_origin(self):
+        pos = grid_positions(2, 2, 0.5, origin=(1.0, 2.0))
+        assert tuple(pos[0]) == (1.0, 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grid_positions(0, 3, 0.1)
+
+
+class TestClustered:
+    def test_counts(self):
+        pos = clustered_positions(3, 5, 0.05, seed=2)
+        assert pos.shape == (15, 2)
+
+    def test_clipped_to_square(self):
+        pos = clustered_positions(10, 20, 0.3, seed=2)
+        assert (pos >= 0).all() and (pos <= 1).all()
+
+    def test_deterministic(self):
+        a = clustered_positions(2, 3, 0.05, seed=5)
+        b = clustered_positions(2, 3, 0.05, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clustered_positions(0, 5, 0.1)
