@@ -19,7 +19,7 @@ the paper's authors left the exposed-terminal problem open.
 from statistics import mean
 
 from repro.experiments.config import protocol_class
-from repro.experiments.runner import build_network, run_raw
+from repro.experiments.runner import build_network
 from repro.workload.generator import TrafficGenerator, TrafficMix
 
 from conftest import bench_settings, n_runs

@@ -11,7 +11,7 @@ paper's location assumption degrades with movement.
 """
 
 from repro.core.lamm import LammMac
-from repro.mac.base import MacConfig, MessageKind
+from repro.mac.base import MacConfig
 from repro.mac.beacons import BeaconConfig
 from repro.mac.contention import ContentionParams
 from repro.sim.network import Network

@@ -7,9 +7,8 @@ import random
 
 from repro.analysis.recurrence import expected_batch_rounds
 from repro.experiments.figures import figure5
-from repro.experiments.report import save_json
 
-from conftest import RESULTS_DIR, report
+from conftest import report
 
 
 def test_figure5(benchmark):

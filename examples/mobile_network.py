@@ -10,7 +10,7 @@ delivery and LAMM's geometric machinery hold up as speed increases.
 Run:  python examples/mobile_network.py
 """
 
-from repro import LammMac, MessageKind
+from repro import LammMac
 from repro.mac.beacons import BeaconConfig
 from repro.metrics.aggregate import summarize_run
 from repro.sim.network import Network

@@ -15,7 +15,6 @@ protocol's delivery collapses instead of discovering it empirically.
 
 from __future__ import annotations
 
-import math
 
 from repro.analysis.timing import (
     bmmm_multicast_time,

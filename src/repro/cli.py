@@ -5,8 +5,16 @@ Examples::
     repro-mac table1
     repro-mac figure6a --seeds 5
     repro-mac figure7 --seeds 3 --out results/
-    repro-mac all --seeds 2
+    repro-mac all --seeds 2 --profile
+    repro-mac trace figure6a --seed 1 --protocol LAMM --out results/
     python -m repro figure5
+
+Every ``--out`` invocation also writes a ``<name>.manifest.json``
+provenance record (settings, seeds, package version, wall-clock) next to
+the JSON result; ``--profile`` prints per-phase wall-clock timings.  The
+``trace`` subcommand runs one scenario with the observability bus recording
+and dumps the JSONL trace plus a lane diagram (see
+``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -17,9 +25,15 @@ import time
 
 from repro.experiments import figures as F
 from repro.experiments.plotting import render_figure
-from repro.experiments.report import format_figure, format_table1, save_json
+from repro.experiments.report import (
+    format_counters,
+    format_figure,
+    format_table1,
+    save_json,
+)
+from repro.obs.profile import PhaseTimer, format_timings
 
-__all__ = ["main"]
+__all__ = ["main", "build_parser", "build_trace_parser"]
 
 #: Experiments that run simulations and accept a ``seeds`` argument.
 _SIMULATED = {
@@ -50,6 +64,7 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduce tables/figures from 'Reliable MAC Layer Multicast in "
             "IEEE 802.11 Wireless Networks' (ICPP 2002)."
         ),
+        epilog="See also: 'repro-mac trace <figure> --seed S' records a JSONL event trace.",
     )
     parser.add_argument(
         "experiment",
@@ -68,7 +83,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         default=None,
         metavar="DIR",
-        help="also save the result as JSON under DIR",
+        help="also save the result as JSON (plus a .manifest.json "
+        "provenance record) under DIR",
     )
     parser.add_argument(
         "--chart",
@@ -83,34 +99,168 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the simulated sweeps (results are "
         "bit-identical to serial runs)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="report per-phase wall-clock timings (compute/render/save)",
+    )
     return parser
 
 
-def _run_one(name: str, seeds: int, out: str | None, chart: bool = False, jobs: int = 1) -> None:
-    t0 = time.time()
-    if name in _ANALYTIC:
-        result = _ANALYTIC[name]()
-    elif name == "figure8":
-        result = _SIMULATED[name](seeds=range(seeds))  # re-scoring; serial
-    else:
-        result = _SIMULATED[name](seeds=range(seeds), processes=jobs)
-    elapsed = time.time() - t0
-    if name == "table1":
-        print(format_table1(result))
-    else:
-        print(format_figure(result))
-        if chart and name != "figure2":
-            print()
-            print(render_figure(result))
-    print(f"[{name} done in {elapsed:.1f}s]")
+def _save_experiment_manifest(name: str, args_ns, timer: PhaseTimer, out: str):
+    from pathlib import Path
+
+    from repro.obs.manifest import RunManifest
+
+    manifest = RunManifest(
+        wall_clock_s=timer.total,
+        timings=dict(timer.timings),
+        extra={
+            "experiment": name,
+            "n_seeds": getattr(args_ns, "seeds", None),
+            "jobs": getattr(args_ns, "jobs", None),
+        },
+    )
+    return manifest.save(Path(out) / f"{name}.manifest.json")
+
+
+def _run_one(name: str, args_ns) -> None:
+    seeds, out, chart, jobs = args_ns.seeds, args_ns.out, args_ns.chart, args_ns.jobs
+    timer = PhaseTimer()
+    with timer.phase("compute"):
+        if name in _ANALYTIC:
+            result = _ANALYTIC[name]()
+        elif name == "figure8":
+            result = _SIMULATED[name](seeds=range(seeds))  # re-scoring; serial
+        else:
+            result = _SIMULATED[name](seeds=range(seeds), processes=jobs)
+    with timer.phase("render"):
+        if name == "table1":
+            print(format_table1(result))
+        else:
+            print(format_figure(result))
+            if chart and name != "figure2":
+                print()
+                print(render_figure(result))
+    print(f"[{name} done in {timer.total:.1f}s]")
     if out:
-        path = save_json(result, out)
+        with timer.phase("save"):
+            path = save_json(result, out)
+            manifest_path = _save_experiment_manifest(name, args_ns, timer, out)
         print(f"[saved {path}]")
+        print(f"[manifest {manifest_path}]")
+    if args_ns.profile:
+        print(timer.report(title=f"{name} profile"))
     print()
+
+
+# --------------------------------------------------------------------------
+# `repro-mac trace` -- record one scenario's JSONL trace + lane diagram
+# --------------------------------------------------------------------------
+
+
+def build_trace_parser() -> argparse.ArgumentParser:
+    """Argument parser for the ``repro-mac trace`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mac trace",
+        description=(
+            "Run one scenario (a figure's Table-2 operating point) with the "
+            "observability bus recording; dump the JSONL trace, a lane "
+            "diagram, and a run manifest."
+        ),
+    )
+    parser.add_argument(
+        "figure",
+        choices=sorted(_SIMULATED),
+        help="which figure's operating point to trace",
+    )
+    parser.add_argument("--seed", type=int, default=0, metavar="S", help="run seed (default 0)")
+    parser.add_argument(
+        "--protocol",
+        default="BMMM",
+        metavar="NAME",
+        help="protocol to trace (default BMMM; any registry name works)",
+    )
+    parser.add_argument(
+        "--out",
+        default="results",
+        metavar="DIR",
+        help="directory for the .jsonl trace and .manifest.json (default results/)",
+    )
+    parser.add_argument("--nodes", type=int, default=None, metavar="N", help="override node count")
+    parser.add_argument(
+        "--horizon", type=int, default=None, metavar="SLOTS", help="override simulation horizon"
+    )
+    parser.add_argument(
+        "--rate", type=float, default=None, metavar="R", help="override message generation rate"
+    )
+    parser.add_argument(
+        "--lane-width",
+        type=int,
+        default=120,
+        metavar="SLOTS",
+        help="max slots rendered in the lane diagram (default 120)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true", help="print build/inject/simulate phase timings"
+    )
+    return parser
+
+
+def _trace_main(argv: list[str]) -> int:
+    from pathlib import Path
+
+    from repro.experiments.config import SimulationSettings, protocol_class
+    from repro.experiments.runner import run_raw
+    from repro.obs.trace import (
+        JsonlTraceWriter,
+        frame_type_counts,
+        load_trace,
+        transmissions_from_trace,
+    )
+    from repro.sim.trace import lane_diagram
+
+    args = build_trace_parser().parse_args(argv)
+    overrides = {}
+    if args.nodes is not None:
+        overrides["n_nodes"] = args.nodes
+    if args.horizon is not None:
+        overrides["horizon"] = args.horizon
+    if args.rate is not None:
+        overrides["message_rate"] = args.rate
+    settings = SimulationSettings().with_(**overrides) if overrides else SimulationSettings()
+    mac_cls, kwargs = protocol_class(args.protocol)
+
+    out_dir = Path(args.out)
+    stem = f"trace_{args.figure}_{args.protocol}_seed{args.seed}"
+    trace_path = out_dir / f"{stem}.jsonl"
+    with JsonlTraceWriter(trace_path) as writer:
+        raw = run_raw(mac_cls, settings, args.seed, kwargs, subscribers=[writer])
+
+    events = load_trace(trace_path)
+    print(lane_diagram(transmissions_from_trace(events), max_width=args.lane_width))
+    print()
+    tx_counts = frame_type_counts(events)
+    summary = "  ".join(f"{ft}={n}" for ft, n in sorted(tx_counts.items()))
+    print(f"[{len(events)} events; frames on air: {summary or '(none)'}]")
+    print(format_counters(dict(raw.counters.total), title="run counters"))
+
+    manifest = raw.manifest(protocol=args.protocol)
+    manifest.extra.update({"figure": args.figure, "trace": str(trace_path)})
+    manifest_path = manifest.save(out_dir / f"{stem}.manifest.json")
+    print(f"[trace {trace_path}]")
+    print(f"[manifest {manifest_path}]")
+    if args.profile:
+        print(format_timings(raw.timings, title="run profile"))
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "report":
         from repro.experiments.fullreport import generate_report
@@ -119,8 +269,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[report written to {path}]")
         return 0
     names = EXPERIMENTS if args.experiment == "all" else [args.experiment]
+    t0 = time.time()
     for name in names:
-        _run_one(name, args.seeds, args.out, args.chart, args.jobs)
+        _run_one(name, args)
+    if len(names) > 1:
+        print(f"[all {len(names)} experiments done in {time.time() - t0:.1f}s]")
     return 0
 
 

@@ -105,6 +105,7 @@ def batch_mode_procedure(mac: MacBase, req: MacRequest, polled: list[int], attem
     if not polled:
         raise ValueError("batch procedure needs at least one receiver")
     env = mac.env
+    obs = env.obs
     t = SIGNAL_SLOTS
     n = len(polled)
 
@@ -114,6 +115,28 @@ def batch_mode_procedure(mac: MacBase, req: MacRequest, polled: list[int], attem
         return BatchResult(BatchOutcome.EXPIRED)
     if mac.radio.is_transmitting:
         return BatchResult(BatchOutcome.RADIO_BUSY)
+
+    mac.channel.counters.inc("batch_rounds", node=mac.node_id)
+    if obs.active:
+        obs.emit(
+            "batch_round_start",
+            node=mac.node_id,
+            msg_id=req.msg_id,
+            polled=list(polled),
+            attempt=attempt,
+        )
+
+    def _finish(result: BatchResult) -> BatchResult:
+        if obs.active:
+            obs.emit(
+                "batch_round_end",
+                node=mac.node_id,
+                msg_id=req.msg_id,
+                outcome=result.outcome.value,
+                acked=sorted(result.acked),
+                cts_from=sorted(result.cts_from),
+            )
+        return result
 
     mac._busy_sender = True
     try:
@@ -136,11 +159,11 @@ def batch_mode_procedure(mac: MacBase, req: MacRequest, polled: list[int], attem
                 cts_from.add(p)
 
         if not cts_from:
-            return BatchResult(BatchOutcome.NO_CTS)
+            return _finish(BatchResult(BatchOutcome.NO_CTS))
         if req.expired(env.now):
             # The deadline passed during the RTS/CTS phase: the upper layer
             # has given up; do not burn medium time on the data frame.
-            return BatchResult(BatchOutcome.EXPIRED, cts_from=frozenset(cts_from))
+            return _finish(BatchResult(BatchOutcome.EXPIRED, cts_from=frozenset(cts_from)))
 
         # --- DATA ----------------------------------------------------------
         # The data frame is addressed to the *full* intended set; its
@@ -149,6 +172,7 @@ def batch_mode_procedure(mac: MacBase, req: MacRequest, polled: list[int], attem
         req.rounds += 1
 
         # --- RAK/ACK phase ---------------------------------------------------
+        mac.channel.counters.inc("rak_polls", node=mac.node_id, n=n)
         acked: set[int] = set()
         for i, p in enumerate(polled, start=1):
             rak = mac.control(
@@ -165,6 +189,6 @@ def batch_mode_procedure(mac: MacBase, req: MacRequest, polled: list[int], attem
             )
             if ack is not None:
                 acked.add(p)
-        return BatchResult(BatchOutcome.DATA_SENT, frozenset(acked), frozenset(cts_from))
+        return _finish(BatchResult(BatchOutcome.DATA_SENT, frozenset(acked), frozenset(cts_from)))
     finally:
         mac._busy_sender = False

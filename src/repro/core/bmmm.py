@@ -45,6 +45,7 @@ class BmmmMac(MacBase):
                 continue
             if result.outcome is BatchOutcome.NO_CTS:
                 attempt += 1
+                self._note_retry(req, "no_cts", attempt)
                 continue
             req.acked |= result.acked
             served = set(result.acked)
@@ -52,5 +53,6 @@ class BmmmMac(MacBase):
                 attempt = 0  # progress: reset the backoff stage
             else:
                 attempt += 1
+                self._note_retry(req, "no_progress", attempt)
             remaining = [p for p in remaining if p not in served]
         return MessageStatus.COMPLETED

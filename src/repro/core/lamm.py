@@ -126,6 +126,7 @@ class LammMac(MacBase):
                 continue
             if result.outcome is BatchOutcome.NO_CTS:
                 attempt += 1
+                self._note_retry(req, "no_cts", attempt)
                 continue
             acked = set(result.acked)
             req.acked |= acked
@@ -136,9 +137,29 @@ class LammMac(MacBase):
             req.inferred |= inferred
             req.acked |= inferred
             next_remaining = next_known | (unknown - acked)
+            counters = self.channel.counters
+            counters.inc("lamm.updates", node=self.node_id)
+            if inferred:
+                # An UPDATE step that shrank the working set beyond the
+                # explicit ACKs -- Theorem 3's coverage argument at work.
+                counters.inc("lamm.update_shrinks", node=self.node_id)
+                counters.inc("lamm.inferred", node=self.node_id, n=len(inferred))
+            obs = self.env.obs
+            if obs.active:
+                obs.emit(
+                    "lamm_update",
+                    node=self.node_id,
+                    msg_id=req.msg_id,
+                    polled=list(polled),
+                    acked=sorted(acked),
+                    inferred=sorted(inferred),
+                    remaining_before=len(remaining),
+                    remaining_after=len(next_remaining),
+                )
             if remaining - next_remaining:
                 attempt = 0  # progress: reset the backoff stage
             else:
                 attempt += 1
+                self._note_retry(req, "no_progress", attempt)
             remaining = next_remaining
         return MessageStatus.COMPLETED

@@ -23,8 +23,25 @@ from typing import Iterable, Sequence
 from repro.experiments.config import SimulationSettings, protocol_class
 from repro.experiments.runner import MeanMetrics, run_raw
 from repro.metrics.aggregate import RunMetrics
+from repro.obs.counters import merge_counter_dicts
 
-__all__ = ["run_seeds_parallel", "run_protocol_parallel", "compare_parallel"]
+__all__ = [
+    "run_seeds_parallel",
+    "run_protocol_parallel",
+    "compare_parallel",
+    "merged_counters",
+]
+
+
+def merged_counters(metrics: Iterable[RunMetrics]) -> dict[str, int]:
+    """Sum observability counter totals over per-seed metrics.
+
+    Workers return their counters inside each pickled
+    :class:`~repro.metrics.aggregate.RunMetrics`, so the pool merge is a
+    plain summation and serial vs parallel execution produce identical
+    totals (tested in ``tests/experiments/test_parallel.py``).
+    """
+    return merge_counter_dicts(m.counters for m in metrics)
 
 
 def _one_run(args: tuple[str, SimulationSettings, int, float | None]):

@@ -7,7 +7,7 @@ from pathlib import Path
 
 from repro.experiments.figures import FigureResult
 
-__all__ = ["format_figure", "format_table1", "save_json"]
+__all__ = ["format_counters", "format_figure", "format_table1", "save_json"]
 
 
 def format_figure(result: FigureResult, width: int = 10, precision: int = 3) -> str:
@@ -43,6 +43,22 @@ def format_table1(result: FigureResult) -> str:
         lines.append(f"{label:<32}{ours}")
         theirs = "".join(f"{paper[p][i]:>14.2f}" for p in protos)
         lines.append(f"{'  (paper)':<32}{theirs}")
+    return "\n".join(lines)
+
+
+def format_counters(counters: dict[str, int], title: str = "counters") -> str:
+    """Aligned dump of observability counter totals, sorted by key.
+
+    Accepts the flat dicts carried by ``RunMetrics.counters`` /
+    ``MeanMetrics.counters`` or a ``Counters.total`` mapping; the key
+    dictionary is documented in ``docs/observability.md``.
+    """
+    if not counters:
+        return f"== {title} ==\n  (none)"
+    width = max(len(k) for k in counters)
+    lines = [f"== {title} =="]
+    for key in sorted(counters):
+        lines.append(f"  {key:<{width}}  {counters[key]:>10}")
     return "\n".join(lines)
 
 

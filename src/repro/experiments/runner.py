@@ -9,13 +9,17 @@ record how many in their output).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from statistics import mean, pstdev
 from typing import Any, Iterable, Sequence, Type
 
 from repro.experiments.config import SimulationSettings, protocol_class
 from repro.mac.base import MacBase, MacConfig, MacRequest
 from repro.metrics.aggregate import RunMetrics, summarize_run
+from repro.obs.counters import Counters, merge_counter_dicts
+from repro.obs.events import Subscriber
+from repro.obs.manifest import RunManifest, settings_to_dict
+from repro.obs.profile import PhaseTimer
 from repro.phy.capture import ZorziRaoCapture
 from repro.sim.channel import ChannelStats
 from repro.sim.network import Network
@@ -27,17 +31,38 @@ __all__ = ["RawRun", "MeanMetrics", "build_network", "run_raw", "run_once", "run
 
 @dataclass
 class RawRun:
-    """Everything needed to (re-)score one run."""
+    """Everything needed to (re-)score one run, plus its provenance."""
 
     requests: list[MacRequest]
     stats: ChannelStats
     average_degree: float
     settings: SimulationSettings
     seed: int
+    #: Observability counters collected during the run (totals + per-node).
+    counters: Counters = field(default_factory=Counters)
+    #: Wall-clock seconds per phase (``build`` / ``inject`` / ``simulate``).
+    timings: dict[str, float] = field(default_factory=dict)
 
     def metrics(self, threshold: float | None = None) -> RunMetrics:
         th = self.settings.threshold if threshold is None else threshold
-        return summarize_run(self.requests, self.stats, threshold=th)
+        return summarize_run(self.requests, self.stats, threshold=th, counters=self.counters)
+
+    def manifest(self, protocol: str | None = None) -> RunManifest:
+        """Provenance record for this run (see :mod:`repro.obs.manifest`)."""
+        wall = sum(self.timings.values()) or None
+        sim_slots = float(self.settings.horizon)
+        simulate_s = self.timings.get("simulate", 0.0)
+        return RunManifest(
+            protocol=protocol,
+            seed=self.seed,
+            settings=settings_to_dict(self.settings),
+            wall_clock_s=wall,
+            timings=dict(self.timings),
+            sim_slots=sim_slots,
+            slots_per_sec=(sim_slots / simulate_s) if simulate_s > 0 else None,
+            n_requests=len(self.requests),
+            counters=dict(self.counters.total),
+        )
 
 
 @dataclass(frozen=True)
@@ -51,6 +76,9 @@ class MeanMetrics:
     average_degree: float
     n_runs: int
     n_requests: int
+    #: Observability counter totals summed over all seeds; identical
+    #: whether the seeds ran serially or across the process pool (tested).
+    counters: dict[str, int] = field(default_factory=dict)
 
     @staticmethod
     def from_runs(runs: Sequence[RunMetrics], degrees: Sequence[float]) -> "MeanMetrics":
@@ -65,6 +93,7 @@ class MeanMetrics:
             average_degree=mean(degrees),
             n_runs=len(runs),
             n_requests=sum(r.n_requests for r in runs),
+            counters=merge_counter_dicts(r.counters for r in runs),
         )
 
 
@@ -99,25 +128,46 @@ def run_raw(
     settings: SimulationSettings,
     seed: int,
     mac_kwargs: dict[str, Any] | None = None,
+    *,
+    record_transmissions: bool = False,
+    subscribers: Iterable[Subscriber] = (),
 ) -> RawRun:
     """One full simulation run; returns raw material for scoring.
 
     The topology and the traffic schedule depend only on (*settings*,
     *seed*), so different protocols at the same seed face identical
-    workloads.
+    workloads.  *subscribers* are attached to the network's event bus for
+    the duration of the run (e.g. a
+    :class:`~repro.obs.trace.JsonlTraceWriter`); observability events and
+    subscribers never touch the RNG streams, so an observed run is
+    bit-identical to a bare one.
     """
-    net = build_network(mac_cls, settings, seed, mac_kwargs)
-    gen = TrafficGenerator(
-        settings.n_nodes,
-        net.propagation.neighbors,
-        horizon=settings.horizon,
-        message_rate=settings.message_rate,
-        mix=settings.mix,
-        seed=seed,
+    timer = PhaseTimer()
+    with timer.phase("build"):
+        net = build_network(mac_cls, settings, seed, mac_kwargs, record_transmissions)
+        for subscriber in subscribers:
+            net.env.obs.subscribe(subscriber)
+    with timer.phase("inject"):
+        gen = TrafficGenerator(
+            settings.n_nodes,
+            net.propagation.neighbors,
+            horizon=settings.horizon,
+            message_rate=settings.message_rate,
+            mix=settings.mix,
+            seed=seed,
+        )
+        requests = gen.inject(net)
+    with timer.phase("simulate"):
+        net.run(until=settings.horizon)
+    return RawRun(
+        requests,
+        net.channel.stats,
+        net.average_degree(),
+        settings,
+        seed,
+        counters=net.channel.counters,
+        timings=timer.timings,
     )
-    requests = gen.inject(net)
-    net.run(until=settings.horizon)
-    return RawRun(requests, net.channel.stats, net.average_degree(), settings, seed)
 
 
 def run_once(

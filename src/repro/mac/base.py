@@ -162,7 +162,7 @@ class MacBase:
         self.rng = rng
         self.config = config or MacConfig()
         self.radio = channel.attach(node_id)
-        self.nav = Nav(env)
+        self.nav = Nav(env, node_id=node_id)
         self.contender = Contender(env, self.radio, self.nav, rng, self.config.contention)
 
         self.queue: deque[MacRequest] = deque()
@@ -231,6 +231,17 @@ class MacBase:
             reliable=reliable,
         )
         self.queue.append(req)
+        obs = self.env.obs
+        if obs.active:
+            obs.emit(
+                "request_submitted",
+                node=self.node_id,
+                msg_id=req.msg_id,
+                kind=kind.value,
+                n_dests=len(dests),
+                deadline=req.deadline,
+                reliable=reliable,
+            )
         if not self._queue_event.triggered:
             self._queue_event.succeed()
         return req
@@ -272,6 +283,19 @@ class MacBase:
         req.status = status
         req.finish_time = self.env.now
         self.completed.append(req)
+        obs = self.env.obs
+        if obs.active:
+            obs.emit(
+                "request_done",
+                node=self.node_id,
+                msg_id=req.msg_id,
+                kind=req.kind.value,
+                status=status.value,
+                contention_phases=req.contention_phases,
+                rounds=req.rounds,
+                n_acked=len(req.acked),
+                n_inferred=len(req.inferred),
+            )
 
     # -- frame construction helpers -----------------------------------------------------
 
@@ -314,6 +338,23 @@ class MacBase:
             return False
         self.radio.transmit(frame)
         return True
+
+    def _note_retry(self, req: MacRequest, stage: str, attempt: int) -> None:
+        """Count (and, when observed, publish) one sender-side retry.
+
+        *stage* names what failed: ``"no_cts"``, ``"no_ack"``,
+        ``"no_progress"`` or a protocol-specific tag like ``"nak"``.
+        """
+        self.channel.counters.inc("retries", node=self.node_id)
+        obs = self.env.obs
+        if obs.active:
+            obs.emit(
+                "retry",
+                node=self.node_id,
+                msg_id=req.msg_id,
+                stage=stage,
+                attempt=attempt,
+            )
 
     # -- receiver side -------------------------------------------------------------------
 
@@ -431,6 +472,7 @@ class MacBase:
                 )
                 if cts is None:
                     attempt += 1
+                    self._note_retry(req, "no_cts", attempt)
                     continue
                 yield self.radio.transmit(self.make_data(req, duration=t))
                 ack = yield self.radio.expect(
@@ -441,6 +483,7 @@ class MacBase:
                     req.acked.add(dest)
                     return MessageStatus.COMPLETED
                 attempt += 1
+                self._note_retry(req, "no_ack", attempt)
             finally:
                 self._busy_sender = False
             if req.expired(self.env.now):

@@ -125,12 +125,24 @@ class Contender:
         self.phases_executed += 1
         env = self.env
         params = self.params
+        node = self.radio.node_id
+        self.radio.channel.counters.inc("contention_phases", node=node)
+        obs = env.obs
+        started = env.now
 
         # Align to the next mid-slot sampling point.
         frac = env.now - math.floor(env.now)
         yield env.timeout((0.5 - frac) % 1.0)
 
         backoff = self.rng.randrange(params.window(attempt))
+        if obs.active:
+            obs.emit(
+                "backoff",
+                node=node,
+                attempt=attempt,
+                window=params.window(attempt),
+                backoff=backoff,
+            )
         while True:
             # -- DIFS: require `difs_slots` consecutive idle slots ---------
             idle_run = 0
@@ -139,6 +151,14 @@ class Contender:
                     idle_run = 0
                     if not params.resume_backoff:
                         backoff = self.rng.randrange(params.window(attempt))
+                        if obs.active:
+                            obs.emit(
+                                "backoff",
+                                node=node,
+                                attempt=attempt,
+                                window=params.window(attempt),
+                                backoff=backoff,
+                            )
                     yield env.timeout(self._next_sample_point())
                 else:
                     idle_run += 1
@@ -161,4 +181,11 @@ class Contender:
 
             # Transmit at the next slot boundary (0.5 slots away).
             yield env.timeout(0.5)
+            if obs.active:
+                obs.emit(
+                    "contention_won",
+                    node=node,
+                    attempt=attempt,
+                    waited=env.now - started,
+                )
             return

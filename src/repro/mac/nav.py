@@ -30,10 +30,13 @@ class Nav:
     :meth:`blocks_response_to` implements.
     """
 
-    def __init__(self, env: Environment):
+    def __init__(self, env: Environment, node_id: int | None = None):
         self.env = env
+        self.node_id = node_id
         self.until: float = env.now
         self.owner: int | None = None
+        # The environment's bus never changes; cache it off the hot path.
+        self._obs = env.obs
 
     @property
     def active(self) -> bool:
@@ -48,6 +51,15 @@ class Nav:
         if not self.active or expiry >= self.until:
             self.owner = owner
         self.until = max(self.until, expiry)
+        obs = self._obs
+        if obs.active:
+            obs.emit(
+                "nav_set",
+                node=self.node_id,
+                until=self.until,
+                duration=duration,
+                owner=self.owner,
+            )
 
     def blocks_response_to(self, initiator: int) -> bool:
         """Should a poll (RTS/RAK) from *initiator* go unanswered?"""

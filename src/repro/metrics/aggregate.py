@@ -28,6 +28,7 @@ from statistics import mean
 from typing import Iterable
 
 from repro.mac.base import MacRequest, MessageKind, MessageStatus
+from repro.obs.counters import Counters
 from repro.sim.channel import ChannelStats
 
 __all__ = ["MessageScore", "RunMetrics", "score_request", "summarize_run"]
@@ -93,6 +94,10 @@ class RunMetrics:
     #: Channel-wide frame counts by type name (whole run, all senders) --
     #: LAMM's control-frame savings over BMMM show up here.
     frames_sent: dict[str, int] = field(default_factory=dict)
+    #: Flattened run-wide observability counter totals (see
+    #: ``docs/observability.md`` for the key dictionary).  Plain ints, so
+    #: per-seed metrics merge across the process pool by summation.
+    counters: dict[str, int] = field(default_factory=dict)
 
     @property
     def delivery_rate(self) -> float:
@@ -158,6 +163,7 @@ def summarize_run(
     stats: ChannelStats,
     threshold: float = 0.9,
     include_unserved: bool = False,
+    counters: "Counters | dict[str, int] | None" = None,
 ) -> RunMetrics:
     """Score every finished request of a run.
 
@@ -165,10 +171,20 @@ def summarize_run(
     default (the paper reports on issued requests; messages cut off by the
     end of the simulation would bias completion times), unless
     *include_unserved* is set, in which case they count as unsuccessful.
+
+    *counters* (a :class:`repro.obs.counters.Counters` or an already-flat
+    dict) attaches the run's observability counter totals.
     """
+    if counters is None:
+        counter_totals: dict[str, int] = {}
+    elif isinstance(counters, Counters):
+        counter_totals = dict(counters.total)
+    else:
+        counter_totals = dict(counters)
     out = RunMetrics(
         threshold=threshold,
         frames_sent={ft.value: n for ft, n in stats.frames_sent.items()},
+        counters=counter_totals,
     )
     for req in requests:
         finished = req.status in (

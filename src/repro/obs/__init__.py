@@ -1,0 +1,70 @@
+"""repro.obs -- observability: event bus, counters, traces, manifests.
+
+Four pieces, threaded through the whole simulator stack:
+
+* :mod:`repro.obs.events` -- the typed event bus on
+  :class:`~repro.sim.kernel.Environment` (``env.obs``); near-zero cost
+  with no subscribers attached;
+* :mod:`repro.obs.counters` -- cheap always-on per-run/per-node counters
+  owned by the channel and surfaced on ``RawRun`` / ``RunMetrics``;
+* :mod:`repro.obs.trace` -- the JSONL trace writer/loader (schema v1) and
+  the trace-to-``Transmission`` adapter feeding the lane diagram;
+* :mod:`repro.obs.manifest` / :mod:`repro.obs.profile` -- run provenance
+  and wall-clock phase timing.
+
+See ``docs/observability.md`` for the event taxonomy, trace schema and
+counter definitions.
+
+Import discipline: this ``__init__`` eagerly imports only the leaf modules
+with no simulator dependencies (``events``, ``counters``, ``profile``) --
+the kernel imports :class:`EventBus` at module load, so anything here that
+imported ``repro.sim`` back would cycle.  ``trace`` and ``manifest``
+symbols are re-exported lazily via ``__getattr__``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.counters import Counters, merge_counter_dicts
+from repro.obs.events import EventBus, SimEvent
+from repro.obs.profile import PhaseTimer, format_timings
+
+__all__ = [
+    "EventBus",
+    "SimEvent",
+    "Counters",
+    "merge_counter_dicts",
+    "PhaseTimer",
+    "format_timings",
+    # lazily re-exported (see __getattr__):
+    "JsonlTraceWriter",
+    "TraceRecorder",
+    "load_trace",
+    "frame_type_counts",
+    "transmissions_from_trace",
+    "TRACE_SCHEMA_VERSION",
+    "RunManifest",
+    "load_manifest",
+    "settings_to_dict",
+]
+
+_TRACE_NAMES = {
+    "JsonlTraceWriter",
+    "TraceRecorder",
+    "load_trace",
+    "frame_type_counts",
+    "transmissions_from_trace",
+    "TRACE_SCHEMA_VERSION",
+}
+_MANIFEST_NAMES = {"RunManifest", "load_manifest", "settings_to_dict"}
+
+
+def __getattr__(name: str):
+    if name in _TRACE_NAMES:
+        from repro.obs import trace
+
+        return getattr(trace, name)
+    if name in _MANIFEST_NAMES:
+        from repro.obs import manifest
+
+        return getattr(manifest, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

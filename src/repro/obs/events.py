@@ -1,0 +1,123 @@
+"""The simulator's event bus: typed observability events, zero-cost when off.
+
+Instrumented code (channel, contention engine, batch procedure, protocol
+state machines) publishes :class:`SimEvent` records to the
+:class:`EventBus` hanging off :class:`repro.sim.kernel.Environment`.  The
+bus is a plain fan-out with **no queueing and no filtering**: subscribers
+are called synchronously, in subscription order, at the simulated instant
+the event occurs.
+
+Cost discipline
+---------------
+Hot paths must pay (almost) nothing when nobody is listening.  Every emit
+site therefore guards on :attr:`EventBus.active` *before* building the
+payload::
+
+    obs = self.env.obs
+    if obs.active:
+        obs.emit("frame_tx", node=sender, ftype=frame.ftype.value, ...)
+
+so an un-observed run only executes one attribute load and one branch per
+site.  Payload construction (dicts, sorted sets) happens only for attached
+subscribers.
+
+Payloads must be JSON-safe (str/int/float/bool/None/list/dict): the JSONL
+trace writer (:mod:`repro.obs.trace`) serializes them verbatim.  Convert
+enums with ``.value`` and frozensets with ``sorted(...)`` at the emit site.
+
+The event taxonomy is documented in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol
+
+__all__ = ["SimEvent", "EventBus", "Subscriber"]
+
+
+class _Clock(Protocol):  # pragma: no cover - typing helper
+    @property
+    def now(self) -> float: ...
+
+
+#: Subscriber signature: called synchronously with each published event.
+Subscriber = Callable[["SimEvent"], None]
+
+
+@dataclass(frozen=True, slots=True)
+class SimEvent:
+    """One observability event.
+
+    Attributes
+    ----------
+    etype:
+        Event type tag (e.g. ``"frame_tx"``, ``"collision"``); the full
+        taxonomy lives in ``docs/observability.md``.
+    time:
+        Simulation time (slots) when the event occurred.
+    node:
+        The node the event is attributed to (sender for transmissions,
+        receiver for reception outcomes), or ``None`` for global events.
+    data:
+        JSON-safe payload, keyed per event type.
+    """
+
+    etype: str
+    time: float
+    node: int | None = None
+    data: dict[str, Any] = field(default_factory=dict)
+
+
+class EventBus:
+    """Synchronous fan-out of :class:`SimEvent` to registered subscribers.
+
+    Parameters
+    ----------
+    clock:
+        Anything with a ``now`` attribute (normally the
+        :class:`~repro.sim.kernel.Environment`); events are stamped with
+        ``clock.now`` at emit time.
+    """
+
+    __slots__ = ("_clock", "_subscribers", "active")
+
+    def __init__(self, clock: _Clock):
+        self._clock = clock
+        self._subscribers: list[Subscriber] = []
+        #: True iff at least one subscriber is attached.  Emit sites check
+        #: this before building payloads; keep it in sync via
+        #: :meth:`subscribe` / :meth:`unsubscribe` only.
+        self.active: bool = False
+
+    def __bool__(self) -> bool:
+        return self.active
+
+    @property
+    def n_subscribers(self) -> int:
+        return len(self._subscribers)
+
+    def subscribe(self, subscriber: Subscriber) -> Subscriber:
+        """Attach *subscriber*; returns it (usable as a decorator)."""
+        if not callable(subscriber):
+            raise TypeError(f"{subscriber!r} is not callable")
+        self._subscribers.append(subscriber)
+        self.active = True
+        return subscriber
+
+    def unsubscribe(self, subscriber: Subscriber) -> None:
+        """Detach *subscriber* (raises ValueError if not attached)."""
+        self._subscribers.remove(subscriber)
+        self.active = bool(self._subscribers)
+
+    def emit(self, etype: str, node: int | None = None, **data: Any) -> None:
+        """Publish one event, stamped with the clock's current time.
+
+        Callers in hot paths should guard on :attr:`active` first; calling
+        ``emit`` with no subscribers is harmless but builds the payload.
+        """
+        if not self._subscribers:
+            return
+        event = SimEvent(etype, self._clock.now, node, data)
+        for subscriber in self._subscribers:
+            subscriber(event)

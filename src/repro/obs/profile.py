@@ -1,0 +1,58 @@
+"""Wall-clock phase timing for runs and CLI invocations.
+
+A :class:`PhaseTimer` accumulates ``perf_counter`` time per named phase
+(``build`` / ``inject`` / ``simulate`` inside
+:func:`~repro.experiments.runner.run_raw`; ``compute`` / ``render`` /
+``save`` in the CLI).  Two ``perf_counter()`` calls per phase is cheap
+enough to leave on unconditionally -- the timings become the run-manifest
+throughput numbers and the baseline for future performance PRs.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+
+__all__ = ["PhaseTimer", "format_timings"]
+
+
+class PhaseTimer:
+    """Accumulates wall-clock seconds per named phase."""
+
+    __slots__ = ("timings",)
+
+    def __init__(self):
+        #: phase name -> accumulated seconds (insertion order preserved).
+        self.timings: dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str):
+        """Context manager timing one phase; re-entering accumulates."""
+        t0 = perf_counter()
+        try:
+            yield self
+        finally:
+            self.add(name, perf_counter() - t0)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.timings[name] = self.timings.get(name, 0.0) + seconds
+
+    @property
+    def total(self) -> float:
+        return sum(self.timings.values())
+
+    def report(self, title: str = "phase timings") -> str:
+        return format_timings(self.timings, title=title)
+
+
+def format_timings(timings: dict[str, float], title: str = "phase timings") -> str:
+    """Aligned text table of per-phase seconds with share-of-total."""
+    if not timings:
+        return f"{title}: (no phases recorded)"
+    total = sum(timings.values())
+    width = max(len(name) for name in timings)
+    lines = [f"{title} (total {total:.3f}s)"]
+    for name, seconds in timings.items():
+        share = seconds / total if total > 0 else 0.0
+        lines.append(f"  {name:<{width}}  {seconds:8.3f}s  {share:6.1%}")
+    return "\n".join(lines)

@@ -1,0 +1,221 @@
+"""JSONL trace persistence: schema, writer, loader, and renderers' feed.
+
+Trace file format (schema version 1)
+------------------------------------
+One JSON object per line.  The first line is a metadata record::
+
+    {"e": "trace.meta", "t": 0.0, "node": null,
+     "schema": 1, "package": "repro", "package_version": "..."}
+
+Every following line is one :class:`~repro.obs.events.SimEvent`::
+
+    {"t": <float sim time>, "e": "<event type>", "node": <int|null>,
+     ... event-specific payload keys ...}
+
+Payload keys per event type are documented in ``docs/observability.md``.
+The format is append-only and newline-delimited so traces from long runs
+can be streamed and grepped; the writer flushes on close only.
+
+The lane diagram (:func:`repro.sim.trace.lane_diagram`) is now *one
+renderer over this trace*: :func:`transmissions_from_trace` rebuilds the
+channel's ``Transmission`` objects from ``frame_tx`` events, so a recorded
+JSONL file replays into the same ASCII lanes (and any future renderer)
+without re-running the simulation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterable
+
+from repro.obs.events import SimEvent
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "META_ETYPE",
+    "JsonlTraceWriter",
+    "TraceRecorder",
+    "event_to_record",
+    "record_to_event",
+    "load_trace",
+    "frame_type_counts",
+    "transmissions_from_trace",
+]
+
+#: Bump when the record layout changes incompatibly.
+TRACE_SCHEMA_VERSION = 1
+#: Event type of the file-leading metadata record.
+META_ETYPE = "trace.meta"
+
+
+def _json_safe(value):
+    """Last-resort conversion for payload values the emit site missed."""
+    if isinstance(value, (frozenset, set, tuple)):
+        return sorted(value) if isinstance(value, (frozenset, set)) else list(value)
+    return str(value)
+
+
+def event_to_record(event: SimEvent) -> dict:
+    """Flatten a :class:`SimEvent` into its JSONL dict form."""
+    record = {"t": event.time, "e": event.etype, "node": event.node}
+    record.update(event.data)
+    return record
+
+
+def record_to_event(record: dict) -> SimEvent:
+    """Inverse of :func:`event_to_record`."""
+    data = {k: v for k, v in record.items() if k not in ("t", "e", "node")}
+    return SimEvent(etype=record["e"], time=record["t"], node=record["node"], data=data)
+
+
+class JsonlTraceWriter:
+    """Event-bus subscriber appending one JSON line per event.
+
+    Usable as a context manager; subscribe the instance itself::
+
+        with JsonlTraceWriter(path) as writer:
+            env.obs.subscribe(writer)
+            net.run(until=horizon)
+
+    Parameters
+    ----------
+    target:
+        A path (opened for writing, parents created) or an open text file.
+    header:
+        Write the leading ``trace.meta`` record (default True).
+    """
+
+    def __init__(self, target: str | Path | IO[str], header: bool = True):
+        if isinstance(target, (str, Path)):
+            path = Path(target)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh: IO[str] = path.open("w", encoding="utf-8")
+            self._owns_fh = True
+            self.path: Path | None = path
+        else:
+            self._fh = target
+            self._owns_fh = False
+            self.path = None
+        self.n_events = 0
+        if header:
+            from repro import __version__
+
+            self._write(
+                {
+                    "t": 0.0,
+                    "e": META_ETYPE,
+                    "node": None,
+                    "schema": TRACE_SCHEMA_VERSION,
+                    "package": "repro",
+                    "package_version": __version__,
+                }
+            )
+
+    def _write(self, record: dict) -> None:
+        self._fh.write(json.dumps(record, separators=(",", ":"), default=_json_safe))
+        self._fh.write("\n")
+
+    def __call__(self, event: SimEvent) -> None:
+        self._write(event_to_record(event))
+        self.n_events += 1
+
+    def close(self) -> None:
+        if self._owns_fh and not self._fh.closed:
+            self._fh.close()
+        elif not self._owns_fh:
+            self._fh.flush()
+
+    def __enter__(self) -> "JsonlTraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class TraceRecorder:
+    """In-memory subscriber collecting events (tests, small runs)."""
+
+    def __init__(self):
+        self.events: list[SimEvent] = []
+
+    def __call__(self, event: SimEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def by_type(self, etype: str) -> list[SimEvent]:
+        return [e for e in self.events if e.etype == etype]
+
+
+def load_trace(source: str | Path | IO[str], include_meta: bool = False) -> list[SimEvent]:
+    """Read a JSONL trace back into :class:`SimEvent` objects.
+
+    The ``trace.meta`` record is validated (schema version) and dropped
+    unless *include_meta* is set.
+    """
+    if isinstance(source, (str, Path)):
+        with Path(source).open("r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+    else:
+        lines = source.readlines()
+    events: list[SimEvent] = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"trace line {lineno} is not valid JSON: {exc}") from None
+        if not isinstance(record, dict) or "e" not in record or "t" not in record:
+            raise ValueError(f"trace line {lineno} is missing required keys ('t', 'e')")
+        if record["e"] == META_ETYPE:
+            schema = record.get("schema")
+            if schema != TRACE_SCHEMA_VERSION:
+                raise ValueError(
+                    f"unsupported trace schema {schema!r} (this reader handles "
+                    f"{TRACE_SCHEMA_VERSION})"
+                )
+            if not include_meta:
+                continue
+        events.append(record_to_event(record))
+    return events
+
+
+def frame_type_counts(events: Iterable[SimEvent], etype: str = "frame_tx") -> dict[str, int]:
+    """Per-frame-type counts over *etype* events (``frame_tx`` by default;
+    pass ``"frame_rx"`` for deliveries).  Matches ``ChannelStats`` /
+    counter totals exactly -- asserted by the integration tests."""
+    counts: dict[str, int] = {}
+    for event in events:
+        if event.etype == etype:
+            ftype = event.data["ftype"]
+            counts[ftype] = counts.get(ftype, 0) + 1
+    return counts
+
+
+def transmissions_from_trace(events: Iterable[SimEvent]):
+    """Rebuild channel ``Transmission`` objects from ``frame_tx`` events,
+    feeding :func:`repro.sim.trace.lane_diagram` and
+    :func:`repro.sim.trace.format_timeline` from a recorded trace."""
+    from repro.sim.channel import Transmission
+    from repro.sim.frames import Frame, FrameType
+
+    out = []
+    for event in events:
+        if event.etype != "frame_tx":
+            continue
+        d = event.data
+        frame = Frame(
+            ftype=FrameType(d["ftype"]),
+            src=d["src"],
+            ra=d["ra"],
+            duration=d.get("dur", 0),
+            seq=d.get("seq"),
+            group=frozenset(d.get("group", ())),
+            msg_id=d.get("msg_id"),
+        )
+        out.append(Transmission(frame, sender=event.node, start=event.time, end=d["end"]))
+    return out

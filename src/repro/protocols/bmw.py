@@ -77,6 +77,7 @@ class BmwMac(MacBase):
                     )
                     if cts is None:
                         attempt += 1
+                        self._note_retry(req, "no_cts", attempt)
                         continue
                     if cts.info == HAVE:
                         # Receiver already holds the frame (overheard an
@@ -108,6 +109,7 @@ class BmwMac(MacBase):
                         served = True
                     else:
                         attempt += 1
+                        self._note_retry(req, "no_ack", attempt)
                 finally:
                     self._busy_sender = False
                 if not served and req.expired(self.env.now):

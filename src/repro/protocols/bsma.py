@@ -61,6 +61,7 @@ class BsmaMac(MacBase):
                 )
                 if cts is None:
                     attempt += 1
+                    self._note_retry(req, "no_cts", attempt)
                     continue
                 yield self.radio.transmit(self.make_data(req, duration=t))
                 req.rounds += 1
@@ -75,6 +76,7 @@ class BsmaMac(MacBase):
                     # whether or not everyone actually has the data.
                     return MessageStatus.COMPLETED
                 attempt += 1
+                self._note_retry(req, "nak", attempt)
             finally:
                 self._busy_sender = False
             if req.expired(self.env.now):

@@ -17,7 +17,7 @@ The ``bench_ablation_exposed`` benchmark quantifies the spatial-reuse win.
 
 from __future__ import annotations
 
-from repro.mac.base import MacRequest, MessageStatus
+from repro.mac.base import MacRequest
 from repro.mac.exposed import ExposedAwareContender
 from repro.protocols.plain import PlainMulticastMac
 

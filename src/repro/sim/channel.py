@@ -32,6 +32,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.obs.counters import Counters
 from repro.phy.capture import CaptureModel, NoCapture
 from repro.phy.propagation import UnitDiskPropagation
 from repro.sim.frames import Frame, FrameType
@@ -49,6 +50,11 @@ class Transmission:
     sender: int
     start: float
     end: float
+
+    def __post_init__(self):
+        # Counter key cached once per transmission instead of being chased
+        # through frame.ftype at every receiver (the reception hot path).
+        self.dkey = self.frame.ftype.delivered_key
 
     def overlaps(self, other: "Transmission") -> bool:
         return self.start < other.end and other.start < self.end
@@ -120,6 +126,17 @@ class Channel:
         self.rng = rng if rng is not None else random.Random(0)
         self.radios: dict[int, Radio] = {}
         self.stats = ChannelStats()
+        #: Always-on per-run/per-node counters (see repro.obs.counters);
+        #: MAC layers increment this through ``mac.channel.counters``.
+        #: Frame keys are pre-seeded to zero so the per-frame hot paths
+        #: below can use a plain ``+= 1`` (frame types that never appear
+        #: on the air therefore report explicit zeros).
+        self.counters = Counters()
+        for ft in FrameType:
+            self.counters.total[ft.sent_key] = 0
+            self.counters.total[ft.delivered_key] = 0
+        # The environment's bus never changes; cache it for the hot paths.
+        self._obs = env.obs
         #: Complete transmission log (for timeline figures); only populated
         #: when *record_transmissions* is set, to keep long runs lean.
         self.record_transmissions = record_transmissions
@@ -135,11 +152,37 @@ class Channel:
         if not 0 <= node_id < self.propagation.n_nodes:
             raise ValueError(f"node id {node_id} outside topology")
         if node_id not in self.radios:
-            self.radios[node_id] = Radio(self, node_id)
+            radio = Radio(self, node_id)
+            # The radio's slice of the per-node counters, cached (and its
+            # frame keys pre-seeded) so the per-frame hot paths below are
+            # two plain dict increments instead of a Counters.inc call
+            # (measured on bench_scaling).
+            radio._counts = self.counters.per_node.setdefault(node_id, {})
+            for ft in FrameType:
+                radio._counts.setdefault(ft.sent_key, 0)
+                radio._counts.setdefault(ft.delivered_key, 0)
+            self.radios[node_id] = radio
         return self.radios[node_id]
 
     def neighbors(self, node_id: int) -> frozenset[int]:
         return self.propagation.neighbors[node_id]
+
+    def finalize_counters(self) -> Counters:
+        """Fold the frame totals from ``stats`` into ``counters.total``.
+
+        The per-frame hot paths only maintain per-node attribution (one
+        dict increment each); the run-wide ``frames_sent.*`` /
+        ``frames_delivered.*`` totals are identical to what ``stats``
+        already tracks, so they are copied here instead of being counted
+        twice per frame.  Idempotent; :class:`~repro.sim.network.Network`
+        calls it after every ``run()``, so code reading
+        ``channel.counters`` after a simulation sees complete totals.
+        """
+        total = self.counters.total
+        for ft in FrameType:
+            total[ft.sent_key] = self.stats.frames_sent.get(ft, 0)
+            total[ft.delivered_key] = self.stats.frames_delivered.get(ft, 0)
+        return self.counters
 
     # -- transmission ----------------------------------------------------------
 
@@ -153,8 +196,27 @@ class Channel:
         tx = Transmission(frame, radio.node_id, now, now + frame.airtime)
         self._max_airtime = max(self._max_airtime, frame.airtime)
         self.stats.note_sent(frame)
+        # Per-node attribution only; the run-wide ``frames_sent.*`` totals
+        # are derived from ``stats`` in finalize_counters() to keep this
+        # per-frame path minimal.
+        radio._counts[frame.ftype.sent_key] += 1
         if self.record_transmissions:
             self.tx_log.append(tx)
+        obs = self._obs
+        if obs.active:
+            payload = {
+                "ftype": frame.ftype.value,
+                "src": frame.src,
+                "ra": frame.ra,
+                "dur": frame.duration,
+                "seq": frame.seq,
+                "msg_id": frame.msg_id,
+                "uid": frame.uid,
+                "end": tx.end,
+            }
+            if frame.group:
+                payload["group"] = sorted(frame.group)
+            obs.emit("frame_tx", node=radio.node_id, **payload)
 
         self._prune(radio.own_tx)
         radio.own_tx.append(tx)
@@ -201,9 +263,19 @@ class Channel:
             self._receive_at(radio, tx)
 
     def _receive_at(self, radio: Radio, tx: Transmission) -> None:
+        obs = self._obs
         # Half-duplex: receiving while transmitting is impossible.
         if any(own.overlaps(tx) for own in radio.own_tx):
             self.stats.half_duplex_losses += 1
+            self.counters.inc("half_duplex_losses", node=radio.node_id)
+            if obs.active:
+                obs.emit(
+                    "half_duplex_loss",
+                    node=radio.node_id,
+                    uid=tx.frame.uid,
+                    ftype=tx.frame.ftype.value,
+                    src=tx.sender,
+                )
             return
 
         overlaps = [t for t in radio.audible if t.overlaps(tx)]
@@ -218,6 +290,16 @@ class Channel:
             clean = True
         else:
             self.stats.collisions += 1
+            self.counters.inc("collisions", node=radio.node_id)
+            if obs.active:
+                obs.emit(
+                    "collision",
+                    node=radio.node_id,
+                    uid=tx.frame.uid,
+                    ftype=tx.frame.ftype.value,
+                    src=tx.sender,
+                    k=k,
+                )
             mine = self.propagation.rx_power(tx.sender, radio.node_id)
             strongest = all(
                 self.propagation.rx_power(t.sender, radio.node_id) < mine
@@ -227,11 +309,43 @@ class Channel:
             if not (strongest and self.capture.attempt(k, self.rng)):
                 return
             self.stats.captures += 1
+            self.counters.inc("captures", node=radio.node_id)
+            if obs.active:
+                obs.emit(
+                    "capture",
+                    node=radio.node_id,
+                    uid=tx.frame.uid,
+                    ftype=tx.frame.ftype.value,
+                    src=tx.sender,
+                    k=k,
+                )
             clean = False
 
         if self.frame_error_rate > 0.0 and self.rng.random() < self.frame_error_rate:
             self.stats.frame_errors += 1
+            self.counters.inc("frame_errors", node=radio.node_id)
+            if obs.active:
+                obs.emit(
+                    "frame_error",
+                    node=radio.node_id,
+                    uid=tx.frame.uid,
+                    ftype=tx.frame.ftype.value,
+                    src=tx.sender,
+                )
             return
 
         self.stats.note_delivered(tx.frame, radio.node_id, clean)
+        # Totals derived from ``stats`` in finalize_counters(); see transmit().
+        radio._counts[tx.dkey] += 1
+        if obs.active:
+            obs.emit(
+                "frame_rx",
+                node=radio.node_id,
+                uid=tx.frame.uid,
+                ftype=tx.frame.ftype.value,
+                src=tx.sender,
+                seq=tx.frame.seq,
+                msg_id=tx.frame.msg_id,
+                clean=clean,
+            )
         radio._deliver(tx.frame, clean)

@@ -75,6 +75,15 @@ class FrameType(Enum):
         return self is FrameType.BEACON
 
 
+# Observability counter keys, precomputed as plain member attributes:
+# `frame.ftype.sent_key` is two C-level attribute loads, whereas an
+# enum-keyed dict lookup goes through Enum.__hash__ (a Python call) on
+# every transmitted/delivered frame -- measurable on the channel hot path.
+for _ft in FrameType:
+    _ft.sent_key = f"frames_sent.{_ft.value}"
+    _ft.delivered_key = f"frames_delivered.{_ft.value}"
+
+
 _frame_counter = itertools.count()
 
 

@@ -37,6 +37,8 @@ import heapq
 from collections.abc import Generator, Iterable
 from typing import Any, Callable
 
+from repro.obs.events import EventBus
+
 __all__ = [
     "Environment",
     "Event",
@@ -427,6 +429,10 @@ class Environment:
         self._eid = 0
         self._active: Process | None = None
         self._unhandled: BaseException | None = None
+        #: Observability event bus (see :mod:`repro.obs.events`).  Created
+        #: once per environment and never replaced, so instrumented layers
+        #: may cache the reference.
+        self.obs = EventBus(self)
 
     @property
     def now(self) -> float:

@@ -120,6 +120,7 @@ class Network:
 
     def run(self, until: float | None = None) -> None:
         self.env.run(until=until)
+        self.channel.finalize_counters()
 
     def all_requests(self):
         """Every finished request across all nodes (for metrics)."""

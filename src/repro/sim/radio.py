@@ -20,7 +20,7 @@ radio only keeps the per-node state the channel and MAC need.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.sim.frames import Frame
 from repro.sim.kernel import Environment, Event, PRIORITY_DELIVERY

@@ -4,6 +4,11 @@ Turns a :class:`~repro.sim.channel.Channel`'s ``tx_log`` (recorded when
 the channel is built with ``record_transmissions=True``) into the lane
 diagrams of the paper's Figure 2: one lane per station, one column per
 slot.
+
+These renderers also accept transmissions rebuilt from a recorded JSONL
+trace via :func:`repro.obs.trace.transmissions_from_trace` -- the lane
+diagram is one renderer over the structured trace, not a separate
+instrumentation path.
 """
 
 from __future__ import annotations
@@ -45,14 +50,15 @@ def lane_diagram(
 
     ``R``/``C``/``D``/``A``/``K``/``N``/``B`` mark RTS/CTS/DATA/ACK/RAK/
     NAK/BEACON airtime; ``.`` is idle.  Long windows are truncated to
-    *max_width* slots.
+    *max_width* slots, with an explicit ``… (+N slots truncated)`` trailer
+    so a cut-off diagram can never be mistaken for the whole run.
     """
     txs = sorted(transmissions, key=lambda t: t.start)
     if not txs:
         return "(no transmissions)"
     lo = int(txs[0].start if start is None else start)
-    hi = int(max(t.end for t in txs) if end is None else end)
-    hi = min(hi, lo + max_width)
+    full_hi = int(max(t.end for t in txs) if end is None else end)
+    hi = min(full_hi, lo + max_width)
     width = hi - lo
     senders = sorted({t.sender for t in txs})
     lanes = {s: ["."] * width for s in senders}
@@ -65,4 +71,6 @@ def lane_diagram(
     rows = [header]
     for s in senders:
         rows.append(f"node {s:>3} |{''.join(lanes[s])}|")
+    if full_hi > hi:
+        rows.append(f"… (+{full_hi - hi} slots truncated)")
     return "\n".join(rows)

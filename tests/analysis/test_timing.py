@@ -73,7 +73,6 @@ class TestAgainstSimulator:
         random contention) equals the closed form exactly."""
         from tests.conftest import run_one_broadcast
         from repro.core.bmmm import BmmmMac
-        from repro.sim.frames import FrameType
 
         for n in (2, 5):
             net, req = run_one_broadcast(BmmmMac, n_receivers=n, until=1000,

@@ -1,6 +1,5 @@
 """Tests for the BMMM protocol (Section 4)."""
 
-import pytest
 
 from repro.core.bmmm import BmmmMac
 from repro.mac.base import MacConfig, MessageKind, MessageStatus

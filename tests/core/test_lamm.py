@@ -6,11 +6,11 @@ import numpy as np
 import pytest
 
 from repro.core.lamm import LammMac, LammPolicy
-from repro.mac.base import MacConfig, MessageKind, MessageStatus
+from repro.mac.base import MessageKind, MessageStatus
 from repro.sim.frames import FrameType
 from repro.sim.network import Network
 
-from tests.conftest import make_star, run_one_broadcast
+from tests.conftest import run_one_broadcast
 
 
 def dense_cluster_positions(n_ring=6, ring_r=0.05):

@@ -1,7 +1,6 @@
 """LAMM edge cases: degenerate geometries, cover-set corner cases."""
 
 import numpy as np
-import pytest
 
 from repro.core.lamm import LammMac, LammPolicy
 from repro.mac.base import MessageKind, MessageStatus

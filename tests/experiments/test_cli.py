@@ -4,9 +4,14 @@ import json
 
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, main
+from repro.cli import EXPERIMENTS, build_parser, build_trace_parser, main
 from repro.experiments.figures import FigureResult, figure5, table1
-from repro.experiments.report import format_figure, format_table1, save_json
+from repro.experiments.report import (
+    format_counters,
+    format_figure,
+    format_table1,
+    save_json,
+)
 
 
 class TestParser:
@@ -36,6 +41,31 @@ class TestMain:
         assert payload["name"] == "figure5"
         assert "BMW" in payload["series"]
 
+    def test_table1_with_json_output(self, tmp_path, capsys):
+        assert main(["table1", "--out", str(tmp_path)]) == 0
+        payload = json.loads((tmp_path / "table1.json").read_text())
+        assert payload["name"] == "table1"
+        assert set(payload["series"]) >= {"BMMM", "LAMM", "BMW", "BSMA"}
+
+    def test_figure2_with_json_output(self, tmp_path, capsys):
+        assert main(["figure2", "--out", str(tmp_path)]) == 0
+        payload = json.loads((tmp_path / "figure2.json").read_text())
+        assert payload["name"] == "figure2"
+
+    def test_out_writes_manifest(self, tmp_path, capsys):
+        from repro.obs.manifest import load_manifest
+
+        assert main(["table1", "--out", str(tmp_path)]) == 0
+        manifest = load_manifest(tmp_path / "table1.manifest.json")
+        assert manifest.extra["experiment"] == "table1"
+        assert manifest.package_version
+        assert "compute" in manifest.timings
+
+    def test_profile_flag_prints_timings(self, capsys):
+        assert main(["table1", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "table1 profile" in out and "compute" in out
+
 
 class TestReport:
     def test_format_figure_contains_series(self):
@@ -53,6 +83,13 @@ class TestReport:
         data = json.loads(path.read_text())
         assert data["series"]["A"] == [0.5]
         assert data["meta"]["k"] == 1
+
+    def test_format_counters(self):
+        out = format_counters({"collisions": 4, "frames_sent.DATA": 10})
+        lines = out.splitlines()
+        assert lines[0] == "== counters =="
+        assert any("collisions" in l and "4" in l for l in lines)
+        assert "(none)" in format_counters({})
 
 
 class TestCliFlags:
@@ -81,3 +118,63 @@ class TestLaneDiagramTruncation:
         out = lane_diagram(txs, max_width=40)
         lane = next(l for l in out.splitlines() if l.startswith("node"))
         assert len(lane) <= len("node   0 |") + 40 + 1
+
+    def test_truncation_marker_present(self):
+        from repro.sim.trace import lane_diagram
+        from repro.sim.channel import Transmission
+        from repro.sim.frames import Frame, FrameType
+
+        f = Frame(FrameType.RTS, src=0, ra=1)
+        txs = [Transmission(f, 0, i * 10, i * 10 + 1) for i in range(50)]
+        out = lane_diagram(txs, max_width=40)
+        # 491 total slots, 40 shown -> 451 hidden, called out explicitly
+        assert out.splitlines()[-1] == "… (+451 slots truncated)"
+
+    def test_no_marker_when_window_fits(self):
+        from repro.sim.trace import lane_diagram
+        from repro.sim.channel import Transmission
+        from repro.sim.frames import Frame, FrameType
+
+        f = Frame(FrameType.RTS, src=0, ra=1)
+        out = lane_diagram([Transmission(f, 0, 0, 1)], max_width=40)
+        assert "truncated" not in out
+
+
+class TestTraceSubcommand:
+    def test_parser_defaults(self):
+        args = build_trace_parser().parse_args(["figure6a"])
+        assert args.figure == "figure6a"
+        assert args.seed == 0 and args.protocol == "BMMM"
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_trace_parser().parse_args(["table1"])
+
+    def test_trace_smoke(self, tmp_path, capsys):
+        """End-to-end: run, dump JSONL + manifest, render lanes."""
+        from repro.obs.manifest import load_manifest
+        from repro.obs.trace import load_trace
+
+        code = main(
+            [
+                "trace", "figure6a",
+                "--seed", "1",
+                "--protocol", "LAMM",
+                "--nodes", "15",
+                "--horizon", "600",
+                "--rate", "0.004",
+                "--out", str(tmp_path),
+                "--profile",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "slots" in out  # lane diagram header
+        assert "run counters" in out and "run profile" in out
+        stem = "trace_figure6a_LAMM_seed1"
+        events = load_trace(tmp_path / f"{stem}.jsonl")
+        assert events and any(e.etype == "frame_tx" for e in events)
+        manifest = load_manifest(tmp_path / f"{stem}.manifest.json")
+        assert manifest.protocol == "LAMM" and manifest.seed == 1
+        assert manifest.settings["n_nodes"] == 15
+        assert manifest.extra["figure"] == "figure6a"

@@ -5,6 +5,7 @@ import pytest
 from repro.experiments.config import SimulationSettings
 from repro.experiments.parallel import (
     compare_parallel,
+    merged_counters,
     run_protocol_parallel,
     run_seeds_parallel,
 )
@@ -36,6 +37,20 @@ class TestParallelEqualsSerial:
             for s in (3, 1, 2)
         ]
         assert [m.delivery_rate for m in metrics] == solo
+
+    def test_identical_counter_totals(self):
+        """Observability counters merge across the pool to the exact
+        totals a serial run produces (same seeds, same sums)."""
+        serial = run_protocol("LAMM", SMALL, seeds=range(3))
+        parallel = run_protocol_parallel("LAMM", SMALL, seeds=range(3), processes=2)
+        assert serial.counters  # non-trivial run: counters are populated
+        assert parallel.counters == serial.counters
+
+    def test_merged_counters_helper(self):
+        metrics, _ = run_seeds_parallel("BMMM", SMALL, [0, 1], processes=2)
+        merged = merged_counters(metrics)
+        for key in metrics[0].counters:
+            assert merged[key] == sum(m.counters.get(key, 0) for m in metrics)
 
     def test_threshold_override(self):
         strict, _ = run_seeds_parallel("BSMA", SMALL, [0], processes=1, threshold=1.0)

@@ -1,6 +1,5 @@
 """Unit + property tests for circular-arc algebra."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

@@ -11,7 +11,6 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.geometry.arcs import Arc
 from repro.geometry.cover import (
     cover_angle,
     disk_cover_union,

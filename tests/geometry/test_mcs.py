@@ -4,7 +4,6 @@ import itertools
 import math
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.geometry.cover import is_cover_set

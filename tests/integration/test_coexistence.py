@@ -7,7 +7,6 @@ unreliable IEEE 802.11 multicast MAC protocol to provide reliable
 multicast MAC services when needed."
 """
 
-import numpy as np
 import pytest
 
 from repro.core.bmmm import BmmmMac

@@ -4,7 +4,6 @@ the *primary* error source -- these tests probe what happens when they are
 not)."""
 
 import numpy as np
-import pytest
 
 from repro.core.bmmm import BmmmMac
 from repro.core.lamm import LammMac

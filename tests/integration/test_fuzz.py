@@ -15,7 +15,6 @@ must hold regardless of scenario:
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.experiments.config import PROTOCOLS

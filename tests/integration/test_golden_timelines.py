@@ -6,7 +6,6 @@ transmission).  Any change to SIFS/DIFS handling, response timing, or
 Duration bookkeeping shows up here immediately.
 """
 
-import pytest
 
 from repro.core.bmmm import BmmmMac
 from repro.core.lamm import LammMac

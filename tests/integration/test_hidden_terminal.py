@@ -4,7 +4,6 @@ Topology: a chain p - q - r where p and r are mutually hidden.  Plain
 CSMA/CA cannot protect q; the RTS/CTS-based protocols must.
 """
 
-import pytest
 
 from repro.core.bmmm import BmmmMac
 from repro.core.lamm import LammMac

@@ -2,7 +2,6 @@
 queue pressure."""
 
 import numpy as np
-import pytest
 
 from repro.core.bmmm import BmmmMac
 from repro.core.lamm import LammMac

@@ -17,7 +17,6 @@ the benchmarks run the full Table 2 configuration.
 
 from statistics import mean
 
-import pytest
 
 from repro.experiments.config import SimulationSettings, protocol_class
 from repro.experiments.runner import run_raw

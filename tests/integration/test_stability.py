@@ -1,9 +1,7 @@
 """Long-run stability and fairness of the MAC substrate."""
 
-from statistics import mean
 
 import numpy as np
-import pytest
 
 from repro.core.bmmm import BmmmMac
 from repro.experiments.config import SimulationSettings, protocol_class

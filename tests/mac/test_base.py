@@ -1,7 +1,6 @@
 """Tests for MacBase: request validation, queueing, the DCF unicast engine,
 and the shared receiver rules."""
 
-import numpy as np
 import pytest
 
 from repro.core.bmmm import BmmmMac

@@ -1,7 +1,6 @@
 """DCF unicast edge cases: retry exhaustion, NAV suppression, CTS loss."""
 
 import numpy as np
-import pytest
 
 from repro.core.bmmm import BmmmMac
 from repro.mac.base import MacConfig, MessageKind, MessageStatus
@@ -10,7 +9,7 @@ from repro.protocols.plain import PlainMulticastMac
 from repro.sim.frames import FrameType
 from repro.sim.network import Network
 
-from tests.conftest import make_star, star_positions
+from tests.conftest import make_star
 
 
 class TestRetryExhaustion:

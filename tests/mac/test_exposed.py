@@ -1,7 +1,6 @@
 """Tests for the exposed-terminal relief (future-work extension)."""
 
 import numpy as np
-import pytest
 
 from repro.mac.base import MessageKind, MessageStatus
 from repro.mac.exposed import concurrent_transmission_safe

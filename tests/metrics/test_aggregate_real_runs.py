@@ -6,7 +6,6 @@ from statistics import mean
 
 import pytest
 
-from repro.core.bmmm import BmmmMac
 from repro.experiments.config import SimulationSettings, protocol_class
 from repro.experiments.runner import MeanMetrics, run_raw
 from repro.mac.base import MessageKind, MessageStatus

@@ -1,0 +1,60 @@
+"""Tests for the always-on counters (repro.obs.counters)."""
+
+from repro.obs.counters import Counters, merge_counter_dicts
+
+
+class TestCounters:
+    def test_inc_and_get(self):
+        c = Counters()
+        c.inc("collisions")
+        c.inc("collisions", n=2)
+        assert c.get("collisions") == 3
+        assert c.get("missing") == 0
+
+    def test_per_node_attribution(self):
+        c = Counters()
+        c.inc("frames_sent.DATA", node=4)
+        c.inc("frames_sent.DATA", node=4)
+        c.inc("frames_sent.DATA", node=7)
+        assert c.get("frames_sent.DATA") == 3
+        assert c.get("frames_sent.DATA", node=4) == 2
+        assert c.get("frames_sent.DATA", node=7) == 1
+        assert c.get("frames_sent.DATA", node=9) == 0
+        assert c.node(4) == {"frames_sent.DATA": 2}
+        assert c.node(9) == {}
+
+    def test_merge_sums_both_levels(self):
+        a, b = Counters(), Counters()
+        a.inc("x", node=1)
+        b.inc("x", node=1, n=4)
+        b.inc("y", node=2)
+        assert a.merge(b) is a
+        assert a.get("x") == 5
+        assert a.get("x", node=1) == 5
+        assert a.get("y", node=2) == 1
+
+    def test_dict_roundtrip(self):
+        c = Counters()
+        c.inc("a", node=3, n=2)
+        c.inc("b")
+        again = Counters.from_dict(c.as_dict())
+        assert again == c
+        # per_node keys survive the str()/int() round-trip
+        assert again.get("a", node=3) == 2
+
+    def test_equality(self):
+        a, b = Counters(), Counters()
+        a.inc("k")
+        assert a != b
+        b.inc("k")
+        assert a == b
+        assert a != {"k": 1}
+
+
+class TestMergeCounterDicts:
+    def test_sums_across_dicts(self):
+        merged = merge_counter_dicts([{"a": 1, "b": 2}, {"b": 3, "c": 1}, {}])
+        assert merged == {"a": 1, "b": 5, "c": 1}
+
+    def test_empty(self):
+        assert merge_counter_dicts([]) == {}

@@ -1,0 +1,79 @@
+"""Tests for the event bus (repro.obs.events)."""
+
+import pytest
+
+from repro.obs.events import EventBus, SimEvent
+from repro.sim.kernel import Environment
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+
+class TestEventBus:
+    def test_starts_inactive(self):
+        bus = EventBus(FakeClock())
+        assert not bus.active
+        assert not bus
+        assert bus.n_subscribers == 0
+
+    def test_subscribe_activates(self):
+        bus = EventBus(FakeClock())
+        seen = []
+        bus.subscribe(seen.append)
+        assert bus.active and bool(bus)
+        bus.unsubscribe(seen.append)
+        assert not bus.active
+
+    def test_emit_stamps_clock_time(self):
+        clock = FakeClock(now=42.0)
+        bus = EventBus(clock)
+        seen = []
+        bus.subscribe(seen.append)
+        bus.emit("frame_tx", node=3, ftype="DATA")
+        clock.now = 50.0
+        bus.emit("collision", node=1)
+        assert [e.time for e in seen] == [42.0, 50.0]
+        assert seen[0] == SimEvent("frame_tx", 42.0, 3, {"ftype": "DATA"})
+
+    def test_fanout_in_subscription_order(self):
+        bus = EventBus(FakeClock())
+        order = []
+        bus.subscribe(lambda e: order.append("a"))
+        bus.subscribe(lambda e: order.append("b"))
+        bus.emit("x")
+        assert order == ["a", "b"]
+
+    def test_emit_without_subscribers_is_noop(self):
+        bus = EventBus(FakeClock())
+        bus.emit("frame_tx", node=0, ftype="RTS")  # must not raise
+
+    def test_subscribe_rejects_non_callable(self):
+        bus = EventBus(FakeClock())
+        with pytest.raises(TypeError):
+            bus.subscribe("not callable")
+
+    def test_unsubscribe_unknown_raises(self):
+        bus = EventBus(FakeClock())
+        with pytest.raises(ValueError):
+            bus.unsubscribe(lambda e: None)
+
+    def test_subscribe_returns_subscriber(self):
+        bus = EventBus(FakeClock())
+
+        @bus.subscribe
+        def handler(event):
+            pass
+
+        assert bus.n_subscribers == 1
+        bus.unsubscribe(handler)
+
+    def test_environment_carries_a_bus(self):
+        env = Environment()
+        assert isinstance(env.obs, EventBus)
+        assert not env.obs.active
+        seen = []
+        env.obs.subscribe(seen.append)
+        env.obs.emit("tick")
+        assert seen[0].time == env.now

@@ -1,0 +1,61 @@
+"""Tests for run manifests (repro.obs.manifest)."""
+
+import json
+
+import pytest
+
+from repro import __version__
+from repro.experiments.config import SimulationSettings
+from repro.obs.manifest import RunManifest, load_manifest, settings_to_dict
+
+
+class TestSettingsToDict:
+    def test_dataclass(self):
+        d = settings_to_dict(SimulationSettings(n_nodes=5))
+        assert d["n_nodes"] == 5
+        json.dumps(d)  # must be JSON-safe
+
+    def test_none_and_dict_passthrough(self):
+        assert settings_to_dict(None) is None
+        assert settings_to_dict({"a": 1}) == {"a": 1}
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            settings_to_dict(42)
+
+
+class TestRunManifest:
+    def test_defaults_fill_provenance(self):
+        m = RunManifest(protocol="BMMM", seed=3)
+        assert m.package_version == __version__
+        assert m.python_version and m.platform
+        assert m.created_at.endswith("+00:00")
+
+    def test_save_load_roundtrip(self, tmp_path):
+        m = RunManifest(
+            protocol="LAMM",
+            seed=1,
+            settings=settings_to_dict(SimulationSettings(n_nodes=9)),
+            wall_clock_s=1.5,
+            timings={"simulate": 1.0},
+            sim_slots=10_000.0,
+            slots_per_sec=10_000.0,
+            n_requests=12,
+            counters={"collisions": 3},
+            extra={"figure": "figure6a"},
+        )
+        path = m.save(tmp_path / "nested" / "run.manifest.json")
+        again = load_manifest(path)
+        assert again == m
+
+    def test_load_rejects_unknown_keys(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"protocol": "BMMM", "bogus": 1}))
+        with pytest.raises(ValueError, match="bogus"):
+            load_manifest(path)
+
+    def test_load_rejects_non_object(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError):
+            load_manifest(path)

@@ -1,0 +1,48 @@
+"""Tests for phase timing (repro.obs.profile)."""
+
+from repro.obs.profile import PhaseTimer, format_timings
+
+
+class TestPhaseTimer:
+    def test_phases_accumulate(self):
+        timer = PhaseTimer()
+        with timer.phase("build"):
+            pass
+        with timer.phase("build"):
+            pass
+        with timer.phase("simulate"):
+            pass
+        assert set(timer.timings) == {"build", "simulate"}
+        assert timer.total == sum(timer.timings.values())
+        assert all(v >= 0.0 for v in timer.timings.values())
+
+    def test_records_even_on_exception(self):
+        timer = PhaseTimer()
+        try:
+            with timer.phase("boom"):
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert "boom" in timer.timings
+
+    def test_add(self):
+        timer = PhaseTimer()
+        timer.add("save", 0.5)
+        timer.add("save", 0.25)
+        assert timer.timings["save"] == 0.75
+
+
+class TestFormatTimings:
+    def test_table_has_shares(self):
+        out = format_timings({"build": 1.0, "simulate": 3.0}, title="t")
+        assert "t (total 4.000s)" in out
+        assert "25.0%" in out and "75.0%" in out
+
+    def test_empty(self):
+        assert "no phases" in format_timings({})
+
+    def test_report_method(self):
+        timer = PhaseTimer()
+        timer.add("x", 1.0)
+        assert "x" in timer.report(title="custom")
+        assert "custom" in timer.report(title="custom")

@@ -1,7 +1,6 @@
 """Edge cases for the baseline protocols (Tang-Gerla, BSMA, BMW)."""
 
 import numpy as np
-import pytest
 
 from repro.mac.base import MacConfig, MessageKind, MessageStatus
 from repro.phy.capture import ZorziRaoCapture

@@ -1,6 +1,5 @@
 """Tests for BMW [21]: per-neighbor unicast rounds, suppression, cost."""
 
-import pytest
 
 from repro.mac.base import MacConfig, MessageKind, MessageStatus
 from repro.protocols.bmw import BmwMac

@@ -1,7 +1,6 @@
 """Tests for the leader-based multicast baseline (Kuri & Kasera [13])."""
 
 import numpy as np
-import pytest
 
 from repro.mac.base import MacConfig, MessageKind, MessageStatus
 from repro.phy.capture import ZorziRaoCapture
@@ -9,7 +8,7 @@ from repro.protocols.leader import LeaderBasedMac
 from repro.sim.frames import FrameType
 from repro.sim.network import Network
 
-from tests.conftest import chain_positions, make_star, run_one_broadcast
+from tests.conftest import make_star, run_one_broadcast
 
 
 class TestLeaderElection:

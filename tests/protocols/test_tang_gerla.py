@@ -1,13 +1,12 @@
 """Tests for the Tang-Gerla [19] broadcast MAC and its CTS-collision flaw."""
 
-import pytest
 
-from repro.mac.base import MessageKind, MessageStatus
-from repro.phy.capture import NoCapture, ZorziRaoCapture
+from repro.mac.base import MessageStatus
+from repro.phy.capture import ZorziRaoCapture
 from repro.protocols.tang_gerla import TangGerlaMac
 from repro.sim.frames import FrameType
 
-from tests.conftest import make_star, run_one_broadcast
+from tests.conftest import run_one_broadcast
 
 
 class TestTangGerla:

@@ -6,7 +6,7 @@ import random
 import numpy as np
 import pytest
 
-from repro.phy.capture import NoCapture, ZorziRaoCapture
+from repro.phy.capture import ZorziRaoCapture
 from repro.phy.propagation import UnitDiskPropagation
 from repro.sim.channel import Channel, Transmission
 from repro.sim.frames import Frame, FrameType, GROUP_ADDR

@@ -9,7 +9,7 @@ import pytest
 from repro.phy.capture import ZorziRaoCapture
 from repro.phy.propagation import UnitDiskPropagation
 from repro.sim.channel import Channel
-from repro.sim.frames import DATA_SLOTS, Frame, FrameType, GROUP_ADDR
+from repro.sim.frames import Frame, FrameType, GROUP_ADDR
 from repro.sim.kernel import Environment
 
 

@@ -9,9 +9,7 @@ import numpy as np
 import pytest
 
 from repro.core.lamm import LammMac
-from repro.mac.base import MessageKind, MessageStatus
 from repro.phy.propagation import UnitDiskPropagation
-from repro.protocols.plain import PlainMulticastMac
 from repro.sim.channel import Channel
 from repro.sim.frames import Frame, FrameType, GROUP_ADDR
 from repro.sim.kernel import Environment

@@ -1,6 +1,5 @@
 """Additional kernel edge cases beyond the core suite."""
 
-import pytest
 
 from repro.sim.kernel import (
     AllOf,

@@ -1,7 +1,6 @@
 """Unit tests for the Radio interface (expect(), listeners, state)."""
 
 import numpy as np
-import pytest
 
 from repro.phy.propagation import UnitDiskPropagation
 from repro.sim.channel import Channel

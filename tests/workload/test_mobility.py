@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.lamm import LammMac
-from repro.mac.base import MessageKind, MessageStatus
+from repro.mac.base import MessageStatus
 from repro.mac.beacons import BeaconConfig
 from repro.phy.propagation import UnitDiskPropagation
 from repro.protocols.plain import PlainMulticastMac
