@@ -45,3 +45,40 @@ def test_dense_traffic_run(benchmark):
 
     raw = benchmark.pedantic(run, rounds=3, iterations=1)
     assert len(raw.requests) > 100
+
+
+def test_sweep_engine_serial_throughput(benchmark):
+    """A small grid through the engine in-process: pins the overhead of
+    job planning + world caching on top of the raw runs."""
+    from repro.experiments.sweep import run_sweep
+
+    points = [
+        SimulationSettings(n_nodes=50, horizon=2000),
+        SimulationSettings(n_nodes=50, horizon=2000, message_rate=0.001),
+    ]
+
+    def run():
+        return run_sweep(["BMMM", "LAMM"], points, seeds=[0, 1], processes=1)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    # Caching must have kicked in: the second protocol of every
+    # (point, seed) cell reuses the first one's world.
+    assert result.cache_hits == len(points) * 2  # cells x (protocols - 1)
+    assert result.slots_per_sec and result.slots_per_sec > 0
+
+
+def test_sweep_engine_pooled_throughput(benchmark):
+    """Same grid through the long-lived pool (bit-identical, less wall)."""
+    from repro.experiments.sweep import run_sweep
+
+    points = [
+        SimulationSettings(n_nodes=50, horizon=2000),
+        SimulationSettings(n_nodes=50, horizon=2000, message_rate=0.001),
+    ]
+
+    def run():
+        return run_sweep(["BMMM", "LAMM"], points, seeds=[0, 1], processes=2)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.processes == 2
+    assert result.n_jobs == 8

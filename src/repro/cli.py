@@ -7,6 +7,7 @@ Examples::
     repro-mac figure7 --seeds 3 --out results/
     repro-mac all --seeds 2 --profile
     repro-mac trace figure6a --seed 1 --protocol LAMM --out results/
+    repro-mac sweep --axis nodes --values 40,70,100 --seeds 5 --jobs 0
     python -m repro figure5
 
 Every ``--out`` invocation also writes a ``<name>.manifest.json``
@@ -14,16 +15,21 @@ provenance record (settings, seeds, package version, wall-clock) next to
 the JSON result; ``--profile`` prints per-phase wall-clock timings.  The
 ``trace`` subcommand runs one scenario with the observability bus recording
 and dumps the JSONL trace plus a lane diagram (see
-``docs/observability.md``).
+``docs/observability.md``).  The ``sweep`` subcommand runs a protocols x
+points x seeds grid through the sweep engine
+(:mod:`repro.experiments.sweep`) and writes per-point metrics, a
+sweep-level manifest and a ``BENCH_<name>.json`` perf record.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
 from repro.experiments import figures as F
+from repro.experiments.config import SIMULATED_PROTOCOLS, SimulationSettings
 from repro.experiments.plotting import render_figure
 from repro.experiments.report import (
     format_counters,
@@ -33,7 +39,7 @@ from repro.experiments.report import (
 )
 from repro.obs.profile import PhaseTimer, format_timings
 
-__all__ = ["main", "build_parser", "build_trace_parser"]
+__all__ = ["main", "build_parser", "build_trace_parser", "build_sweep_parser"]
 
 #: Experiments that run simulations and accept a ``seeds`` argument.
 _SIMULATED = {
@@ -155,6 +161,134 @@ def _run_one(name: str, args_ns) -> None:
 
 
 # --------------------------------------------------------------------------
+# `repro-mac sweep` -- run a protocols x points x seeds grid
+# --------------------------------------------------------------------------
+
+#: Sweep axes: flag value -> (settings field, value parser).
+_SWEEP_AXES = {
+    "nodes": ("n_nodes", int),
+    "rate": ("message_rate", float),
+    "timeout": ("timeout_slots", float),
+}
+
+
+def build_sweep_parser() -> argparse.ArgumentParser:
+    """Argument parser for the ``repro-mac sweep`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mac sweep",
+        description=(
+            "Run a protocols x points x seeds grid through the sweep engine: "
+            "one long-lived process pool, shared topology/schedule builds per "
+            "(point, seed) cell, bit-identical metrics to serial runs."
+        ),
+    )
+    parser.add_argument(
+        "--axis",
+        choices=sorted(_SWEEP_AXES),
+        default="nodes",
+        help="which Table-2 parameter the points sweep (default: nodes)",
+    )
+    parser.add_argument(
+        "--values",
+        default=None,
+        metavar="V1,V2,...",
+        help="comma-separated sweep values (defaults: the paper's sweep "
+        "for the chosen axis)",
+    )
+    parser.add_argument(
+        "--protocols",
+        default=",".join(SIMULATED_PROTOCOLS),
+        metavar="P1,P2,...",
+        help=f"protocols to run (default: {','.join(SIMULATED_PROTOCOLS)})",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=3, metavar="N",
+        help="seeded runs per (point, protocol) cell (paper: 100; default 3)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="worker processes (0 = one per CPU core, 1 = in-process; default 0)",
+    )
+    parser.add_argument(
+        "--chunksize", type=int, default=None, metavar="N",
+        help="jobs per pool chunk (default: whole (point, seed) cells)",
+    )
+    parser.add_argument(
+        "--horizon", type=int, default=None, metavar="SLOTS",
+        help="override simulation horizon at every point (smoke/CI runs)",
+    )
+    parser.add_argument(
+        "--name", default="sweep", metavar="NAME",
+        help="basename for the result/manifest/BENCH files (default: sweep)",
+    )
+    parser.add_argument(
+        "--out", default="results", metavar="DIR",
+        help="output directory (default results/)",
+    )
+    return parser
+
+
+def _sweep_main(argv: list[str]) -> int:
+    from pathlib import Path
+
+    from repro.experiments.figures import DENSITY_SWEEP_NODES, RATE_SWEEP, TIMEOUT_SWEEP
+    from repro.experiments.sweep import run_sweep, save_bench, sweep_manifest
+
+    args = build_sweep_parser().parse_args(argv)
+    field, parse = _SWEEP_AXES[args.axis]
+    defaults = {"nodes": DENSITY_SWEEP_NODES, "rate": RATE_SWEEP, "timeout": TIMEOUT_SWEEP}
+    values = (
+        [parse(v) for v in args.values.split(",") if v]
+        if args.values
+        else list(defaults[args.axis])
+    )
+    base = SimulationSettings()
+    if args.horizon is not None:
+        base = base.with_(horizon=args.horizon)
+    points = [base.with_(**{field: v}) for v in values]
+    protocols = [p for p in args.protocols.split(",") if p]
+
+    result = run_sweep(
+        protocols,
+        points,
+        seeds=range(args.seeds),
+        processes=args.jobs or None,
+        chunksize=args.chunksize,
+    )
+
+    for idx, value in enumerate(values):
+        print(f"== {args.axis} = {value} (mean degree {sum(result.point_degrees(idx)) / len(result.point_degrees(idx)):.2f}) ==")
+        for proto in protocols:
+            mm = result.mean(idx, proto)
+            print(
+                f"  {proto:<10} delivery {mm.delivery_rate:6.3f}"
+                f"  phases {mm.avg_contention_phases:7.2f}"
+                f"  completion {mm.avg_completion_time:8.1f}"
+                f"  ({mm.n_runs} runs, {mm.n_requests} requests)"
+            )
+    print()
+    print(format_timings(result.timings, title=f"{args.name} phases"))
+    print(
+        f"[{result.n_jobs} jobs, {result.processes} workers, chunksize {result.chunksize}; "
+        f"world cache {result.cache_hits}/{result.cache_hits + result.cache_misses} hits; "
+        f"{result.slots_per_sec or 0.0:,.0f} slots/s]"
+    )
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    result_path = out_dir / f"{args.name}.json"
+    result_path.write_text(json.dumps(result.as_dict(), indent=2, default=str))
+    manifest = sweep_manifest(result, name=args.name)
+    manifest_path = manifest.save(out_dir / f"{args.name}.manifest.json")
+    bench_path = save_bench(result, args.name, out_dir)
+    print(format_counters(manifest.counters, title="grid counter totals"))
+    print(f"[results {result_path}]")
+    print(f"[manifest {manifest_path}]")
+    print(f"[bench {bench_path}]")
+    return 0
+
+
+# --------------------------------------------------------------------------
 # `repro-mac trace` -- record one scenario's JSONL trace + lane diagram
 # --------------------------------------------------------------------------
 
@@ -261,6 +395,8 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
+    if argv and argv[0] == "sweep":
+        return _sweep_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "report":
         from repro.experiments.fullreport import generate_report

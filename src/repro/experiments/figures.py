@@ -207,30 +207,31 @@ def _sweep(
     *metric* becomes the figure's series; any *extra_metrics* are computed
     from the same runs and stored under ``meta["extra"][metric_name]``
     (same {protocol: [values]} layout) -- used by benchmarks that want a
-    companion metric without re-simulating.  *processes* > 1 fans the
-    seeds of each (point, protocol) cell out over worker processes
-    (results are bit-identical to serial execution).
+    companion metric without re-simulating.  The whole grid runs through
+    :func:`repro.experiments.sweep.run_sweep`: one long-lived pool when
+    *processes* > 1, shared topology/schedule builds across the protocols
+    of each (point, seed) cell either way -- results are bit-identical to
+    per-run serial execution (tested).
     """
-    from repro.experiments.parallel import run_seeds_parallel
+    from repro.experiments.sweep import run_sweep
 
     seeds = list(seeds)
+    result = run_sweep(protocols, settings_list, seeds, processes=processes)
     series: dict[str, list[float]] = {p: [] for p in protocols}
     extra: dict[str, dict[str, list[float]]] = {
         m: {p: [] for p in protocols} for m in extra_metrics
     }
     xs: list[float] = []
     for idx, st in enumerate(settings_list):
-        degrees: list[float] = []
         for proto in protocols:
-            run_metrics, degs = run_seeds_parallel(proto, st, seeds, processes)
-            degrees.extend(degs)
+            run_metrics = result.cell(idx, proto).metrics
             series[proto].append(mean(getattr(m, metric) for m in run_metrics))
             for name_ in extra_metrics:
                 extra[name_][proto].append(
                     mean(getattr(m, name_) for m in run_metrics)
                 )
         if xs_from == "degree":
-            xs.append(mean(degrees))
+            xs.append(mean(result.point_degrees(idx)))
         elif xs_from == "rate":
             xs.append(st.message_rate)
         elif xs_from == "timeout":

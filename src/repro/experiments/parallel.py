@@ -16,6 +16,7 @@ debugging).
 
 from __future__ import annotations
 
+import math
 import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable, Sequence
@@ -26,11 +27,25 @@ from repro.metrics.aggregate import RunMetrics
 from repro.obs.counters import merge_counter_dicts
 
 __all__ = [
+    "auto_chunksize",
     "run_seeds_parallel",
     "run_protocol_parallel",
     "compare_parallel",
     "merged_counters",
 ]
+
+
+def auto_chunksize(n_jobs: int, workers: int) -> int:
+    """A ``pool.map`` chunksize balancing IPC overhead against stragglers.
+
+    The default ``chunksize=1`` pays one pickle/unpickle round-trip per
+    job; one giant chunk per worker serializes badly when run times vary.
+    Four chunks per worker keeps the IPC count at ``O(workers)`` while
+    leaving enough slack for rebalancing.
+    """
+    if n_jobs <= 0 or workers <= 0:
+        return 1
+    return max(1, math.ceil(n_jobs / (workers * 4)))
 
 
 def merged_counters(metrics: Iterable[RunMetrics]) -> dict[str, int]:
@@ -58,21 +73,30 @@ def run_seeds_parallel(
     seeds: Iterable[int],
     processes: int | None = None,
     threshold: float | None = None,
+    executor: ProcessPoolExecutor | None = None,
 ) -> tuple[list[RunMetrics], list[float]]:
     """Run one protocol at many seeds, fanned out over processes.
 
     Returns (per-seed metrics, per-seed mean degrees), ordered by seed
-    position regardless of completion order.
+    position regardless of completion order.  Jobs are submitted with a
+    computed chunksize (:func:`auto_chunksize`), not the ``pool.map``
+    default of 1, so the IPC round-trips scale with the worker count
+    rather than the seed count.  Pass *executor* to reuse a long-lived
+    pool across calls (as :func:`compare_parallel` does); *processes* is
+    then ignored.
     """
     seeds = list(seeds)
     jobs = [(name, settings, seed, threshold) for seed in seeds]
-    if processes == 1 or len(seeds) <= 1:
+    if executor is not None:
+        workers = executor._max_workers
+        results = list(executor.map(_one_run, jobs, chunksize=auto_chunksize(len(jobs), workers)))
+    elif processes == 1 or len(seeds) <= 1:
         results = [_one_run(j) for j in jobs]
     else:
         workers = processes or os.cpu_count() or 1
         workers = min(workers, len(seeds))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(_one_run, jobs))
+            results = list(pool.map(_one_run, jobs, chunksize=auto_chunksize(len(jobs), workers)))
     metrics = [m for m, _ in results]
     degrees = [d for _, d in results]
     return metrics, degrees
@@ -96,9 +120,24 @@ def compare_parallel(
     seeds: Iterable[int],
     processes: int | None = None,
 ) -> dict[str, MeanMetrics]:
-    """Parallel counterpart of :func:`repro.experiments.runner.compare`."""
+    """Parallel counterpart of :func:`repro.experiments.runner.compare`.
+
+    One process pool is shared across the whole ``names`` loop instead of
+    spinning a fresh executor up (and tearing it down) per protocol.  For
+    full protocols x points x seeds grids, prefer
+    :func:`repro.experiments.sweep.run_sweep`, which additionally shares
+    topology builds between protocols.
+    """
     seeds = list(seeds)
-    return {
-        name: run_protocol_parallel(name, settings, seeds, processes)
-        for name in names
-    }
+    if processes == 1 or len(seeds) <= 1:
+        return {
+            name: run_protocol_parallel(name, settings, seeds, processes=1)
+            for name in names
+        }
+    workers = min(processes or os.cpu_count() or 1, len(seeds))
+    out: dict[str, MeanMetrics] = {}
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for name in names:
+            metrics, degrees = run_seeds_parallel(name, settings, seeds, executor=pool)
+            out[name] = MeanMetrics.from_runs(metrics, degrees)
+    return out

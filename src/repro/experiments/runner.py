@@ -21,8 +21,10 @@ from repro.obs.events import Subscriber
 from repro.obs.manifest import RunManifest, settings_to_dict
 from repro.obs.profile import PhaseTimer
 from repro.phy.capture import ZorziRaoCapture
+from repro.phy.propagation import UnitDiskPropagation
 from repro.sim.channel import ChannelStats
 from repro.sim.network import Network
+from repro.workload.cache import WorldParts
 from repro.workload.generator import TrafficGenerator
 from repro.workload.topology import uniform_square
 
@@ -49,7 +51,10 @@ class RawRun:
 
     def manifest(self, protocol: str | None = None) -> RunManifest:
         """Provenance record for this run (see :mod:`repro.obs.manifest`)."""
-        wall = sum(self.timings.values()) or None
+        # None means "not timed"; an untimed run has no phases at all.  A
+        # recorded sum of 0.0 (sub-resolution fast run) is a legitimate
+        # measurement and must survive so sweep manifests aggregate cleanly.
+        wall = sum(self.timings.values()) if self.timings else None
         sim_slots = float(self.settings.horizon)
         simulate_s = self.timings.get("simulate", 0.0)
         return RunManifest(
@@ -103,9 +108,20 @@ def build_network(
     seed: int,
     mac_kwargs: dict[str, Any] | None = None,
     record_transmissions: bool = False,
+    propagation: "UnitDiskPropagation | None" = None,
 ) -> Network:
-    """Construct the network for one run (placement seeded by *seed*)."""
-    positions = uniform_square(settings.n_nodes, seed=seed, side=settings.side)
+    """Construct the network for one run (placement seeded by *seed*).
+
+    *propagation* supplies a prebuilt topology (the sweep engine's
+    shared-world path); when omitted the placement and unit-disk sets are
+    built fresh, bit-identically to what
+    :meth:`repro.workload.cache.WorldCache.world` caches.
+    """
+    positions = (
+        propagation.positions
+        if propagation is not None
+        else uniform_square(settings.n_nodes, seed=seed, side=settings.side)
+    )
     return Network(
         positions,
         settings.radius,
@@ -120,6 +136,7 @@ def build_network(
         mac_kwargs=mac_kwargs,
         record_transmissions=record_transmissions,
         interference_factor=settings.interference_factor,
+        propagation=propagation,
     )
 
 
@@ -131,30 +148,46 @@ def run_raw(
     *,
     record_transmissions: bool = False,
     subscribers: Iterable[Subscriber] = (),
+    world: "WorldParts | None" = None,
 ) -> RawRun:
     """One full simulation run; returns raw material for scoring.
 
     The topology and the traffic schedule depend only on (*settings*,
     *seed*), so different protocols at the same seed face identical
-    workloads.  *subscribers* are attached to the network's event bus for
-    the duration of the run (e.g. a
+    workloads.  *world* supplies those protocol-independent artifacts
+    prebuilt (see :class:`repro.workload.cache.WorldCache`); the
+    environment, channel, RNG streams and MAC instances are still
+    constructed fresh here, so a cached run is bit-identical to a cold
+    one (tested).  *subscribers* are attached to the network's event bus
+    for the duration of the run (e.g. a
     :class:`~repro.obs.trace.JsonlTraceWriter`); observability events and
     subscribers never touch the RNG streams, so an observed run is
     bit-identical to a bare one.
     """
     timer = PhaseTimer()
     with timer.phase("build"):
-        net = build_network(mac_cls, settings, seed, mac_kwargs, record_transmissions)
+        net = build_network(
+            mac_cls,
+            settings,
+            seed,
+            mac_kwargs,
+            record_transmissions,
+            propagation=world.propagation if world is not None else None,
+        )
         for subscriber in subscribers:
             net.env.obs.subscribe(subscriber)
     with timer.phase("inject"):
-        gen = TrafficGenerator(
-            settings.n_nodes,
-            net.propagation.neighbors,
-            horizon=settings.horizon,
-            message_rate=settings.message_rate,
-            mix=settings.mix,
-            seed=seed,
+        gen = (
+            world.generator
+            if world is not None
+            else TrafficGenerator(
+                settings.n_nodes,
+                net.propagation.neighbors,
+                horizon=settings.horizon,
+                message_rate=settings.message_rate,
+                mix=settings.mix,
+                seed=seed,
+            )
         )
         requests = gen.inject(net)
     with timer.phase("simulate"):

@@ -1,0 +1,397 @@
+"""The sweep engine: protocols x points x seeds through one process pool.
+
+The paper's evaluation (Section 7) is a grid -- four protocols, several
+sweep points, 100 seeds per point -- yet the legacy entry points
+(:func:`~repro.experiments.runner.compare` /
+:func:`~repro.experiments.parallel.compare_parallel`) rebuild the O(n^2)
+unit-disk topology and the traffic schedule per protocol and historically
+spun up a fresh process pool per protocol per point.  This module is the
+grid-shaped replacement:
+
+* the whole grid is flattened into one job list and dispatched through a
+  **single long-lived** :class:`~concurrent.futures.ProcessPoolExecutor`
+  with an explicit chunksize;
+* jobs are ordered so all protocols of one ``(point, seed)`` cell are
+  consecutive, and chunk boundaries align to cells, so each worker's
+  :class:`~repro.workload.cache.WorldCache` shares one topology/schedule
+  build across the four protocols of a cell;
+* results are bit-identical to the serial path (same
+  :class:`~repro.metrics.aggregate.RunMetrics`, same merged counters) --
+  caching and pooling change wall-clock only, asserted by
+  ``tests/experiments/test_sweep.py``.
+
+Every sweep can emit a :class:`~repro.obs.manifest.RunManifest` (full
+provenance) and a ``BENCH_<name>.json`` perf record (slots/sec, per-phase
+wall clock, worker count, cache hit rate) -- see :func:`sweep_manifest`
+and :func:`save_bench`.  The CLI surface is ``repro-mac sweep``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from statistics import mean
+from typing import Iterable, Sequence
+
+from repro.experiments.config import SimulationSettings, protocol_class
+from repro.experiments.parallel import auto_chunksize
+from repro.experiments.runner import MeanMetrics, run_raw
+from repro.metrics.aggregate import RunMetrics
+from repro.obs.manifest import RunManifest, settings_to_dict
+from repro.obs.profile import PhaseTimer
+from repro.workload.cache import WorldCache
+
+__all__ = [
+    "SweepJob",
+    "JobResult",
+    "SweepCell",
+    "SweepResult",
+    "plan_jobs",
+    "run_job",
+    "run_sweep",
+    "sweep_manifest",
+    "bench_record",
+    "save_bench",
+]
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One cell member of the grid: (point, protocol, seed)."""
+
+    point: int
+    protocol: str
+    seed: int
+    settings: SimulationSettings
+    threshold: float | None = None
+
+
+@dataclass
+class JobResult:
+    """What a worker sends back for one job (picklable, seed-ordered)."""
+
+    point: int
+    protocol: str
+    seed: int
+    metrics: RunMetrics
+    degree: float
+    #: Per-phase wall-clock seconds of this run (build/inject/simulate).
+    timings: dict[str, float]
+    #: Whether the world (topology + schedule) came from the worker cache.
+    cache_hit: bool = False
+
+
+@dataclass
+class SweepCell:
+    """All seeds of one (point, protocol): the unit the figures average."""
+
+    metrics: list[RunMetrics] = field(default_factory=list)
+    degrees: list[float] = field(default_factory=list)
+
+    def mean(self) -> MeanMetrics:
+        return MeanMetrics.from_runs(self.metrics, self.degrees)
+
+
+def plan_jobs(
+    protocols: Sequence[str],
+    points: Sequence[SimulationSettings],
+    seeds: Sequence[int],
+    threshold: float | None = None,
+) -> list[SweepJob]:
+    """Flatten the grid, protocols innermost.
+
+    The innermost protocol loop is what makes worker-side world caching
+    effective: consecutive jobs share ``(point, seed)``, so a chunk that
+    covers whole cells builds each world once and reuses it
+    ``len(protocols) - 1`` times.
+    """
+    return [
+        SweepJob(point=p, protocol=proto, seed=seed, settings=st, threshold=threshold)
+        for p, st in enumerate(points)
+        for seed in seeds
+        for proto in protocols
+    ]
+
+
+def run_job(job: SweepJob, cache: WorldCache | None = None) -> JobResult:
+    """Execute one job, optionally through a shared-world cache.
+
+    The cache supplies only the protocol-independent artifacts; the
+    environment, channel and MAC instances are always fresh (see
+    :func:`~repro.experiments.runner.run_raw`), so results do not depend
+    on what ran before in this process.
+    """
+    mac_cls, kwargs = protocol_class(job.protocol)
+    hit = False
+    world = None
+    if cache is not None:
+        hits_before = cache.hits
+        world = cache.world(job.settings, job.seed)
+        hit = cache.hits > hits_before
+    raw = run_raw(mac_cls, job.settings, job.seed, kwargs, world=world)
+    return JobResult(
+        point=job.point,
+        protocol=job.protocol,
+        seed=job.seed,
+        metrics=raw.metrics(job.threshold),
+        degree=raw.average_degree,
+        timings=raw.timings,
+        cache_hit=hit,
+    )
+
+
+#: Per-worker world cache, created lazily on first job.  Module-level so it
+#: survives across jobs for the lifetime of the pool's worker processes --
+#: the whole point of dispatching the grid through one long-lived pool.
+_WORKER_CACHE: WorldCache | None = None
+
+
+def _sweep_worker(job: SweepJob) -> JobResult:
+    global _WORKER_CACHE
+    if _WORKER_CACHE is None:
+        _WORKER_CACHE = WorldCache()
+    return run_job(job, _WORKER_CACHE)
+
+
+@dataclass
+class SweepResult:
+    """Everything a finished sweep produced, plus how it was executed."""
+
+    protocols: list[str]
+    points: list[SimulationSettings]
+    seeds: list[int]
+    #: (point index, protocol) -> per-seed results.
+    cells: dict[tuple[int, str], SweepCell]
+    #: Aggregated phase seconds: worker ``build``/``inject``/``simulate``
+    #: sums plus the pool ``dispatch`` wall clock.
+    timings: dict[str, float]
+    #: End-to-end engine wall clock (job planning + dispatch + merge).
+    wall_clock_s: float
+    processes: int
+    chunksize: int
+    threshold: float | None = None
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    # -- accessors ---------------------------------------------------------
+
+    def cell(self, point: int, protocol: str) -> SweepCell:
+        return self.cells[(point, protocol)]
+
+    def mean(self, point: int, protocol: str) -> MeanMetrics:
+        """Seed-averaged metrics of one grid cell."""
+        return self.cells[(point, protocol)].mean()
+
+    def grid(self) -> list[dict[str, MeanMetrics]]:
+        """Per-point ``{protocol: MeanMetrics}`` -- the figures' shape."""
+        return [
+            {proto: self.mean(p, proto) for proto in self.protocols}
+            for p in range(len(self.points))
+        ]
+
+    def point_degrees(self, point: int) -> list[float]:
+        """Every run's mean degree at *point* (protocol-major order)."""
+        return [d for proto in self.protocols for d in self.cells[(point, proto)].degrees]
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.protocols) * len(self.points) * len(self.seeds)
+
+    @property
+    def sim_slots(self) -> float:
+        """Total simulated slots across the grid."""
+        n_runs_per_point = len(self.protocols) * len(self.seeds)
+        return float(sum(st.horizon * n_runs_per_point for st in self.points))
+
+    @property
+    def slots_per_sec(self) -> float | None:
+        """Simulated slots per wall-clock second -- the headline number."""
+        if self.wall_clock_s > 0:
+            return self.sim_slots / self.wall_clock_s
+        return None
+
+    def as_dict(self) -> dict:
+        """JSON-safe dump: per-point mean metrics plus execution record."""
+        return {
+            "protocols": list(self.protocols),
+            "seeds": list(self.seeds),
+            "threshold": self.threshold,
+            "points": [
+                {
+                    "settings": settings_to_dict(st),
+                    "mean_degree": mean(self.point_degrees(p)),
+                    "metrics": {
+                        proto: asdict(self.mean(p, proto)) for proto in self.protocols
+                    },
+                }
+                for p, st in enumerate(self.points)
+            ],
+            "execution": {
+                "n_jobs": self.n_jobs,
+                "processes": self.processes,
+                "chunksize": self.chunksize,
+                "wall_clock_s": self.wall_clock_s,
+                "timings": dict(self.timings),
+                "sim_slots": self.sim_slots,
+                "slots_per_sec": self.slots_per_sec,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+            },
+        }
+
+
+def run_sweep(
+    protocols: Sequence[str],
+    points: Sequence[SimulationSettings],
+    seeds: Iterable[int],
+    *,
+    processes: int | None = None,
+    chunksize: int | None = None,
+    threshold: float | None = None,
+) -> SweepResult:
+    """Run the full protocols x points x seeds grid.
+
+    ``processes=None`` uses ``os.cpu_count()``; ``processes=1`` runs
+    in-process (with the same world cache, still bit-identical).  The
+    chunksize defaults to whole ``(point, seed)`` cells --
+    :func:`auto_chunksize` over cells, times ``len(protocols)`` -- so
+    worker caches see every protocol of a cell; pass *chunksize* (in
+    jobs) to override.
+    """
+    protocols = list(protocols)
+    points = list(points)
+    seeds = list(seeds)
+    if not protocols or not points or not seeds:
+        raise ValueError("sweep needs at least one protocol, one point and one seed")
+    timer = PhaseTimer()
+    jobs = plan_jobs(protocols, points, seeds, threshold)
+    n_cells = len(points) * len(seeds)
+    if processes == 1 or len(jobs) == 1:
+        workers = 1
+        cs = chunksize or len(protocols)
+        with timer.phase("dispatch"):
+            cache = WorldCache()
+            results = [run_job(job, cache) for job in jobs]
+    else:
+        workers = min(processes or os.cpu_count() or 1, len(jobs))
+        cs = chunksize or len(protocols) * auto_chunksize(n_cells, workers)
+        with timer.phase("dispatch"):
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(_sweep_worker, jobs, chunksize=cs))
+    with timer.phase("merge"):
+        cells: dict[tuple[int, str], SweepCell] = {
+            (p, proto): SweepCell() for p in range(len(points)) for proto in protocols
+        }
+        phase_sums: dict[str, float] = {}
+        hits = misses = 0
+        for res in results:
+            cell = cells[(res.point, res.protocol)]
+            cell.metrics.append(res.metrics)
+            cell.degrees.append(res.degree)
+            for phase, seconds in res.timings.items():
+                phase_sums[phase] = phase_sums.get(phase, 0.0) + seconds
+            if res.cache_hit:
+                hits += 1
+            else:
+                misses += 1
+    timings = {"dispatch": timer.timings.get("dispatch", 0.0), **phase_sums}
+    return SweepResult(
+        protocols=protocols,
+        points=points,
+        seeds=seeds,
+        cells=cells,
+        timings=timings,
+        wall_clock_s=timer.total,
+        processes=workers,
+        chunksize=cs,
+        threshold=threshold,
+        cache_hits=hits,
+        cache_misses=misses,
+    )
+
+
+# --------------------------------------------------------------------------
+# Provenance and perf records
+# --------------------------------------------------------------------------
+
+
+def sweep_manifest(result: SweepResult, name: str = "sweep") -> RunManifest:
+    """Sweep-level provenance: grid shape, execution record, counters.
+
+    Per-point settings live in ``extra["points"]``; counter totals are
+    merged over the whole grid (bit-identical to a serial run -- tested).
+    """
+    counters: dict[str, int] = {}
+    for cell in result.cells.values():
+        for m in cell.metrics:
+            for key, n in m.counters.items():
+                counters[key] = counters.get(key, 0) + n
+    return RunManifest(
+        settings=settings_to_dict(result.points[0]),
+        wall_clock_s=result.wall_clock_s,
+        timings=dict(result.timings),
+        sim_slots=result.sim_slots,
+        slots_per_sec=result.slots_per_sec,
+        counters=counters,
+        extra={
+            "experiment": name,
+            "kind": "sweep",
+            "protocols": list(result.protocols),
+            "n_points": len(result.points),
+            "points": [settings_to_dict(st) for st in result.points],
+            "seeds": list(result.seeds),
+            "threshold": result.threshold,
+            "processes": result.processes,
+            "chunksize": result.chunksize,
+            "cache_hits": result.cache_hits,
+            "cache_misses": result.cache_misses,
+        },
+    )
+
+
+def bench_record(result: SweepResult, name: str = "sweep") -> dict:
+    """The ``BENCH_<name>.json`` payload: the sweep's perf trajectory.
+
+    Records wall clock per phase, throughput in simulated slots/sec (both
+    end-to-end and inside the simulate phase alone), worker count,
+    chunksize and world-cache hit rate -- the numbers future performance
+    PRs regress against.
+    """
+    simulate_s = result.timings.get("simulate", 0.0)
+    return {
+        "name": name,
+        "kind": "sweep-bench",
+        "grid": {
+            "protocols": list(result.protocols),
+            "n_points": len(result.points),
+            "n_seeds": len(result.seeds),
+            "n_jobs": result.n_jobs,
+        },
+        "processes": result.processes,
+        "chunksize": result.chunksize,
+        "wall_clock_s": result.wall_clock_s,
+        "timings": dict(result.timings),
+        "sim_slots": result.sim_slots,
+        "slots_per_sec": result.slots_per_sec,
+        "slots_per_sec_simulate_phase": (
+            result.sim_slots / simulate_s if simulate_s > 0 else None
+        ),
+        "cache": {
+            "hits": result.cache_hits,
+            "misses": result.cache_misses,
+            "hit_rate": (
+                result.cache_hits / result.n_jobs if result.n_jobs else 0.0
+            ),
+        },
+    }
+
+
+def save_bench(result: SweepResult, name: str, out_dir: str | Path) -> Path:
+    """Write ``BENCH_<name>.json`` under *out_dir*; returns the path."""
+    path = Path(out_dir) / f"BENCH_{name}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(bench_record(result, name), indent=2, default=str))
+    return path

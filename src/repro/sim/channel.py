@@ -245,9 +245,15 @@ class Channel:
         A frame finishing at time ``T >= now`` started at
         ``T - airtime >= now - max_airtime``, so anything ending at or
         before ``now - max_airtime`` is unreachable.
+
+        Entries are ordered by start time, not end time, so a long frame
+        at the head can still be live while shorter frames behind it
+        (CTS/ACK/RAK sent during its airtime) are already stale; checking
+        only the head would keep those stale entries in the overlap-scan
+        lists until the head itself expires.
         """
         horizon = self.env.now - self._max_airtime
-        if txs and txs[0].end <= horizon:
+        if any(t.end <= horizon for t in txs):
             txs[:] = [t for t in txs if t.end > horizon]
 
     # -- reception -------------------------------------------------------------

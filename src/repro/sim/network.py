@@ -49,6 +49,13 @@ class Network:
         Shared :class:`MacConfig` (Table 2 defaults when omitted).
     mac_kwargs:
         Extra keyword arguments for ``mac_cls`` (e.g. LAMM's ``policy``).
+    propagation:
+        Optional prebuilt :class:`UnitDiskPropagation` to use instead of
+        constructing one from *positions*/*radius* -- the sweep engine's
+        shared-topology path (:mod:`repro.workload.cache`).  The caller
+        guarantees it matches *positions*/*radius*; the network holds a
+        reference, so mutating it (mobility) affects every network
+        sharing it.
     """
 
     def __init__(
@@ -64,10 +71,13 @@ class Network:
         record_transmissions: bool = False,
         beacons: "BeaconConfig | None" = None,
         interference_factor: float = 1.0,
+        propagation: UnitDiskPropagation | None = None,
     ):
         self.env = Environment()
-        self.propagation = UnitDiskPropagation(
-            positions, radius, interference_factor=interference_factor
+        self.propagation = (
+            propagation
+            if propagation is not None
+            else UnitDiskPropagation(positions, radius, interference_factor=interference_factor)
         )
         self.channel = Channel(
             self.env,

@@ -4,7 +4,8 @@ import json
 
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, build_trace_parser, main
+from repro.cli import EXPERIMENTS, build_parser, build_sweep_parser, build_trace_parser, main
+from repro.experiments.config import SIMULATED_PROTOCOLS
 from repro.experiments.figures import FigureResult, figure5, table1
 from repro.experiments.report import (
     format_counters,
@@ -178,3 +179,49 @@ class TestTraceSubcommand:
         assert manifest.protocol == "LAMM" and manifest.seed == 1
         assert manifest.settings["n_nodes"] == 15
         assert manifest.extra["figure"] == "figure6a"
+
+
+class TestSweepSubcommand:
+    def test_parser_defaults(self):
+        args = build_sweep_parser().parse_args([])
+        assert args.axis == "nodes"
+        assert args.protocols.split(",") == list(SIMULATED_PROTOCOLS)
+        assert args.seeds == 3 and args.jobs == 0
+        assert args.chunksize is None and args.horizon is None
+        assert args.name == "sweep" and args.out == "results"
+
+    def test_rejects_unknown_axis(self):
+        with pytest.raises(SystemExit):
+            build_sweep_parser().parse_args(["--axis", "frobnicate"])
+
+    def test_sweep_smoke(self, tmp_path, capsys):
+        """End-to-end: tiny grid, table + result/manifest/bench files."""
+        from repro.obs.manifest import load_manifest
+
+        code = main(
+            [
+                "sweep",
+                "--axis", "nodes",
+                "--values", "12,16",
+                "--protocols", "BMMM,LAMM",
+                "--seeds", "2",
+                "--jobs", "1",
+                "--horizon", "500",
+                "--name", "smoke",
+                "--out", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "nodes = 12" in out and "nodes = 16" in out
+        assert "BMMM" in out and "LAMM" in out
+        assert "world cache" in out
+
+        payload = json.loads((tmp_path / "smoke.json").read_text())
+        assert len(payload["points"]) == 2
+        manifest = load_manifest(tmp_path / "smoke.manifest.json")
+        assert manifest.extra["experiment"] == "smoke"
+        assert manifest.counters  # merged over every cell
+        bench = json.loads((tmp_path / "BENCH_smoke.json").read_text())
+        assert bench["kind"] == "sweep-bench"
+        assert bench["grid"]["n_jobs"] == 2 * 2 * 2

@@ -1,5 +1,7 @@
 """Tests for the experiment runner (small, fast settings)."""
 
+from dataclasses import replace
+
 import pytest
 
 from repro.experiments.config import SimulationSettings
@@ -57,3 +59,24 @@ class TestRunProtocol:
     def test_mean_metrics_requires_runs(self):
         with pytest.raises(ValueError):
             MeanMetrics.from_runs([], [])
+
+
+class TestRawRunManifest:
+    def test_untimed_run_has_no_wall_clock(self):
+        raw = replace(run_raw(BmmmMac, SMALL, seed=0), timings={})
+        assert raw.manifest().wall_clock_s is None
+
+    def test_zero_second_timings_survive_as_zero(self):
+        """A sub-resolution run timed at 0.0s is a measurement, not the
+        absence of one -- it must not collapse to None."""
+        raw = replace(run_raw(BmmmMac, SMALL, seed=0), timings={"simulate": 0.0})
+        manifest = raw.manifest()
+        assert manifest.wall_clock_s == 0.0
+        assert manifest.slots_per_sec is None
+
+    def test_timed_run_sums_phases(self):
+        raw = replace(
+            run_raw(BmmmMac, SMALL, seed=0),
+            timings={"build": 0.25, "simulate": 0.5},
+        )
+        assert raw.manifest().wall_clock_s == 0.75

@@ -324,3 +324,58 @@ class TestBusyTracking:
         c = Transmission(f, 1, 5, 6)
         assert a.overlaps(b) and b.overlaps(a)
         assert not a.overlaps(c) and not c.overlaps(a)
+
+
+class TestPruneStaleEntries:
+    """Regression tests for the overlap-list pruning bug: entries are
+    ordered by start time, so a long DATA frame at the head can still be
+    live while shorter control frames behind it are already stale.  The
+    old ``_prune`` only checked ``txs[0]`` and kept the stale tail."""
+
+    def test_stale_short_behind_fresh_long_head_is_pruned(self):
+        env, ch, radios = make_channel([[0.5, 0.5], [0.55, 0.5]])
+        ch.transmit(radios[0], data(0, group={1}))  # sets _max_airtime to 5
+        env.run(until=10)
+        # Head: DATA still within the overlap horizon (end 8 > 10 - 5);
+        # behind it: an RTS that ended at 5 <= 10 - 5, i.e. stale.
+        head = Transmission(data(0, group={1}), 0, 3.0, 8.0)
+        stale = Transmission(rts(1), 1, 4.0, 5.0)
+        txs = [head, stale]
+        ch._prune(txs)
+        assert txs == [head]
+
+    def test_fresh_entries_untouched(self):
+        env, ch, radios = make_channel([[0.5, 0.5], [0.55, 0.5]])
+        ch.transmit(radios[0], data(0, group={1}))
+        env.run(until=10)
+        txs = [Transmission(data(0, group={1}), 0, 3.0, 8.0), Transmission(rts(1), 1, 6.0, 7.0)]
+        before = list(txs)
+        ch._prune(txs)
+        assert txs == before
+
+    def test_audible_stays_bounded_in_long_mixed_airtime_run(self):
+        """Long run with back-to-back DATA interleaved with per-slot
+        control frames: the overlap-scan lists must stay within the
+        ~2 x max_airtime window of live frames (the pre-fix prune let
+        stale control frames ride along under the DATA head, peaking
+        ~60% higher)."""
+        env, ch, radios = make_channel(
+            [[0.5, 0.5], [0.55, 0.5], [0.45, 0.5], [0.5, 0.55]]
+        )
+        max_len = 0
+
+        def sample():
+            nonlocal max_len
+            max_len = max(max_len, len(radios[0].audible), len(radios[1].own_tx))
+
+        horizon = 1000
+        for t in range(0, horizon, 5):  # node 1: DATA back-to-back
+            at(env, t, lambda: ch.transmit(radios[1], data(1, group={0, 2, 3})))
+        for t in range(horizon):  # nodes 2, 3: one control frame per slot
+            at(env, t, lambda: ch.transmit(radios[2], rts(2, ra=0)))
+            at(env, t, lambda: ch.transmit(radios[3], Frame(FrameType.CTS, src=3, ra=0)))
+            at(env, t, sample)
+        env.run(until=horizon + 10)
+        # Live window: <= 2 DATA + ~2x6 control frames + the just-started
+        # slot's arrivals.  Pre-fix peaks at 22 here.
+        assert max_len <= 16
