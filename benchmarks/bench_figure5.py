@@ -55,6 +55,7 @@ def test_figure5_sized_grid_through_sweep_engine():
     """
     from repro.experiments.config import SIMULATED_PROTOCOLS
     from repro.experiments.parallel import compare_parallel
+    from repro.experiments.scenario import Scenario
     from repro.experiments.sweep import run_sweep, save_bench
 
     protocols = list(SIMULATED_PROTOCOLS)
@@ -66,8 +67,9 @@ def test_figure5_sized_grid_through_sweep_engine():
     legacy = [compare_parallel(protocols, st, seeds, processes=jobs) for st in points]
     legacy_s = time.perf_counter() - t0
 
+    scenario = Scenario(settings=points[0], protocols=tuple(protocols), seeds=tuple(seeds))
     t0 = time.perf_counter()
-    result = run_sweep(protocols, points, seeds, processes=jobs)
+    result = run_sweep(scenario, points, processes=jobs)
     engine_s = time.perf_counter() - t0
 
     for idx in range(len(points)):

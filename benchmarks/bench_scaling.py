@@ -50,15 +50,17 @@ def test_dense_traffic_run(benchmark):
 def test_sweep_engine_serial_throughput(benchmark):
     """A small grid through the engine in-process: pins the overhead of
     job planning + world caching on top of the raw runs."""
+    from repro.experiments.scenario import Scenario
     from repro.experiments.sweep import run_sweep
 
     points = [
         SimulationSettings(n_nodes=50, horizon=2000),
         SimulationSettings(n_nodes=50, horizon=2000, message_rate=0.001),
     ]
+    scenario = Scenario(settings=points[0], protocols=("BMMM", "LAMM"), seeds=(0, 1))
 
     def run():
-        return run_sweep(["BMMM", "LAMM"], points, seeds=[0, 1], processes=1)
+        return run_sweep(scenario, points, processes=1)
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     # Caching must have kicked in: the second protocol of every
@@ -69,15 +71,17 @@ def test_sweep_engine_serial_throughput(benchmark):
 
 def test_sweep_engine_pooled_throughput(benchmark):
     """Same grid through the long-lived pool (bit-identical, less wall)."""
+    from repro.experiments.scenario import Scenario
     from repro.experiments.sweep import run_sweep
 
     points = [
         SimulationSettings(n_nodes=50, horizon=2000),
         SimulationSettings(n_nodes=50, horizon=2000, message_rate=0.001),
     ]
+    scenario = Scenario(settings=points[0], protocols=("BMMM", "LAMM"), seeds=(0, 1))
 
     def run():
-        return run_sweep(["BMMM", "LAMM"], points, seeds=[0, 1], processes=2)
+        return run_sweep(scenario, points, processes=2)
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert result.processes == 2

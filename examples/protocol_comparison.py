@@ -11,9 +11,7 @@ Run:  python examples/protocol_comparison.py [n_seeds]
 
 import sys
 
-from repro import SimulationSettings
-from repro.experiments.config import PROTOCOLS
-from repro.experiments.runner import run_protocol
+from repro import PROTOCOLS, Scenario, SimulationSettings, run
 
 
 def main() -> None:
@@ -31,10 +29,11 @@ def main() -> None:
     )
     print(header)
     print("-" * len(header))
-    results = {}
-    for name in PROTOCOLS:
-        mm = run_protocol(name, settings, seeds=range(n_seeds))
-        results[name] = mm
+    scenario = Scenario(
+        settings=settings, protocols=tuple(PROTOCOLS), seeds=tuple(range(n_seeds))
+    )
+    results = run(scenario)
+    for name, mm in results.items():
         print(
             f"{name:<11}{mm.delivery_rate:>10.3f}{mm.avg_contention_phases:>12.2f}"
             f"{mm.avg_completion_time:>12.1f}{mm.n_runs:>6}"

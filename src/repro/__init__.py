@@ -16,7 +16,17 @@ The package provides:
 * workload generation, metrics, and per-figure experiment harnesses
   (:mod:`repro.workload`, :mod:`repro.metrics`, :mod:`repro.experiments`).
 
-Quickstart::
+The stable public API is the Scenario surface (documented in
+``docs/index.md``)::
+
+    from repro import FaultPlan, Scenario, SimulationSettings, run, sweep
+
+    settings = SimulationSettings(n_nodes=50, faults=FaultPlan(location_sigma=0.05))
+    results = run(Scenario(settings=settings, protocols=("BMMM", "LAMM"), seeds=range(10)))
+    grid = sweep(Scenario(settings=settings, protocols="LAMM", seeds=range(10)),
+                 points=[settings.with_(n_nodes=n) for n in (40, 70, 100)])
+
+Quickstart at the frame level::
 
     import numpy as np
     from repro import Network, BmmmMac, MessageKind
@@ -29,7 +39,17 @@ Quickstart::
 """
 
 from repro.core import BmmmMac, LammMac, LammPolicy, batch_round_airtime
-from repro.experiments import SimulationSettings, compare, run_protocol
+from repro.experiments import (
+    PROTOCOLS,
+    Scenario,
+    SimulationSettings,
+    compare,
+    run,
+    run_once,
+    run_protocol,
+    sweep,
+)
+from repro.faults import FaultPlan, GilbertElliott, NodeChurn
 from repro.geometry import (
     cover_angle,
     greedy_cover_set,
@@ -88,7 +108,16 @@ __all__ = [
     "uniform_square",
     "RunMetrics",
     "summarize_run",
+    # the API: one Scenario in, metrics out
+    "Scenario",
     "SimulationSettings",
+    "FaultPlan",
+    "GilbertElliott",
+    "NodeChurn",
+    "PROTOCOLS",
+    "run",
+    "sweep",
+    "run_once",
     "run_protocol",
     "compare",
 ]

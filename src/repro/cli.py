@@ -8,6 +8,7 @@ Examples::
     repro-mac all --seeds 2 --profile
     repro-mac trace figure6a --seed 1 --protocol LAMM --out results/
     repro-mac sweep --axis nodes --values 40,70,100 --seeds 5 --jobs 0
+    repro-mac faults --axis burst --values 0,4,16,64 --seeds 3
     python -m repro figure5
 
 Every ``--out`` invocation also writes a ``<name>.manifest.json``
@@ -18,7 +19,10 @@ and dumps the JSONL trace plus a lane diagram (see
 ``docs/observability.md``).  The ``sweep`` subcommand runs a protocols x
 points x seeds grid through the sweep engine
 (:mod:`repro.experiments.sweep`) and writes per-point metrics, a
-sweep-level manifest and a ``BENCH_<name>.json`` perf record.
+sweep-level manifest and a ``BENCH_<name>.json`` perf record.  The
+``faults`` subcommand is the degradation study: the same grid machinery
+sweeping one fault axis (burst / churn / sigma -- see ``docs/faults.md``)
+instead of a workload axis.
 """
 
 from __future__ import annotations
@@ -39,7 +43,13 @@ from repro.experiments.report import (
 )
 from repro.obs.profile import PhaseTimer, format_timings
 
-__all__ = ["main", "build_parser", "build_trace_parser", "build_sweep_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "build_trace_parser",
+    "build_sweep_parser",
+    "build_faults_parser",
+]
 
 #: Experiments that run simulations and accept a ``seeds`` argument.
 _SIMULATED = {
@@ -232,6 +242,7 @@ def _sweep_main(argv: list[str]) -> int:
     from pathlib import Path
 
     from repro.experiments.figures import DENSITY_SWEEP_NODES, RATE_SWEEP, TIMEOUT_SWEEP
+    from repro.experiments.scenario import Scenario
     from repro.experiments.sweep import run_sweep, save_bench, sweep_manifest
 
     args = build_sweep_parser().parse_args(argv)
@@ -248,10 +259,12 @@ def _sweep_main(argv: list[str]) -> int:
     points = [base.with_(**{field: v}) for v in values]
     protocols = [p for p in args.protocols.split(",") if p]
 
+    scenario = Scenario(
+        settings=base, protocols=tuple(protocols), seeds=tuple(range(args.seeds))
+    )
     result = run_sweep(
-        protocols,
+        scenario,
         points,
-        seeds=range(args.seeds),
         processes=args.jobs or None,
         chunksize=args.chunksize,
     )
@@ -279,6 +292,183 @@ def _sweep_main(argv: list[str]) -> int:
     result_path = out_dir / f"{args.name}.json"
     result_path.write_text(json.dumps(result.as_dict(), indent=2, default=str))
     manifest = sweep_manifest(result, name=args.name)
+    manifest_path = manifest.save(out_dir / f"{args.name}.manifest.json")
+    bench_path = save_bench(result, args.name, out_dir)
+    print(format_counters(manifest.counters, title="grid counter totals"))
+    print(f"[results {result_path}]")
+    print(f"[manifest {manifest_path}]")
+    print(f"[bench {bench_path}]")
+    return 0
+
+
+# --------------------------------------------------------------------------
+# `repro-mac faults` -- degradation study over one fault axis
+# --------------------------------------------------------------------------
+
+
+def build_faults_parser() -> argparse.ArgumentParser:
+    """Argument parser for the ``repro-mac faults`` subcommand."""
+    from repro.experiments.degradation import FAULT_AXES
+
+    parser = argparse.ArgumentParser(
+        prog="repro-mac faults",
+        description=(
+            "Degradation study: sweep one fault axis (Gilbert-Elliott burst "
+            "length, node-churn rate, or location-error sigma) through the "
+            "sweep engine and report delivery/contention decay per protocol."
+        ),
+    )
+    parser.add_argument(
+        "--axis",
+        choices=sorted(FAULT_AXES),
+        default="burst",
+        help="which impairment the points sweep (default: burst)",
+    )
+    parser.add_argument(
+        "--values",
+        default=None,
+        metavar="V1,V2,...",
+        help="comma-separated axis values (default: the study's grid for "
+        "the chosen axis; 0 = benign baseline point)",
+    )
+    parser.add_argument(
+        "--burst-loss", type=float, default=0.2, metavar="P",
+        help="stationary BAD-state share held fixed while the burst axis "
+        "varies burstiness (default 0.2)",
+    )
+    parser.add_argument(
+        "--base-burst", type=float, default=0.0, metavar="SLOTS",
+        help="add a fixed Gilbert-Elliott burst (mean length SLOTS) under "
+        "every point of a churn/sigma sweep (0 = off; default 0)",
+    )
+    parser.add_argument(
+        "--downtime", type=float, default=200.0, metavar="SLOTS",
+        help="mean downtime of a crashed node (default 200)",
+    )
+    parser.add_argument(
+        "--give-up", type=int, default=0, metavar="N",
+        help="per-receiver retry cap at every point (0 = never; default 0)",
+    )
+    parser.add_argument(
+        "--protocols",
+        default=",".join(SIMULATED_PROTOCOLS),
+        metavar="P1,P2,...",
+        help=f"protocols to run (default: {','.join(SIMULATED_PROTOCOLS)})",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=3, metavar="N",
+        help="seeded runs per (point, protocol) cell (default 3)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="worker processes (0 = one per CPU core, 1 = in-process; default 0)",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=None, metavar="N", help="override node count"
+    )
+    parser.add_argument(
+        "--rate", type=float, default=None, metavar="R",
+        help="override message generation rate",
+    )
+    parser.add_argument(
+        "--horizon", type=int, default=None, metavar="SLOTS",
+        help="override simulation horizon at every point (smoke/CI runs)",
+    )
+    parser.add_argument(
+        "--name", default="faults", metavar="NAME",
+        help="basename for the result/manifest/BENCH files (default: faults)",
+    )
+    parser.add_argument(
+        "--out", default="results", metavar="DIR",
+        help="output directory (default results/)",
+    )
+    return parser
+
+
+#: Fault counters worth a per-point summary line (when nonzero).
+_FAULT_COUNTER_KEYS = (
+    "faults.burst_losses",
+    "faults.crashes",
+    "faults.recoveries",
+    "faults.rx_dropped",
+    "faults.tx_suppressed",
+    "faults.receiver_give_ups",
+    "lamm.coverage_violations",
+)
+
+
+def _faults_main(argv: list[str]) -> int:
+    from pathlib import Path
+
+    from repro.experiments.degradation import FAULT_AXES, degradation_points, fault_plan_for
+    from repro.experiments.scenario import Scenario
+    from repro.experiments.sweep import run_sweep, save_bench, sweep_manifest
+    from repro.faults import FaultPlan
+
+    args = build_faults_parser().parse_args(argv)
+    values = (
+        [float(v) for v in args.values.split(",") if v]
+        if args.values
+        else list(FAULT_AXES[args.axis])
+    )
+    overrides = {}
+    if args.nodes is not None:
+        overrides["n_nodes"] = args.nodes
+    if args.rate is not None:
+        overrides["message_rate"] = args.rate
+    if args.horizon is not None:
+        overrides["horizon"] = args.horizon
+    base_plan = FaultPlan(receiver_give_up=args.give_up)
+    if args.base_burst > 0:
+        base_plan = fault_plan_for(
+            "burst", args.base_burst, stationary_loss=args.burst_loss, base=base_plan
+        )
+    base = SimulationSettings(**overrides).with_(faults=base_plan)
+    points = degradation_points(
+        base,
+        args.axis,
+        values,
+        stationary_loss=args.burst_loss,
+        mean_downtime=args.downtime,
+    )
+    protocols = [p for p in args.protocols.split(",") if p]
+    scenario = Scenario(
+        settings=base, protocols=tuple(protocols), seeds=tuple(range(args.seeds))
+    )
+    result = run_sweep(scenario, points, processes=args.jobs or None)
+
+    for idx, value in enumerate(values):
+        print(f"== {args.axis} = {value:g} ==")
+        point_counters: dict[str, int] = {}
+        for proto in protocols:
+            mm = result.mean(idx, proto)
+            print(
+                f"  {proto:<10} delivery {mm.delivery_rate:6.3f}"
+                f"  phases {mm.avg_contention_phases:7.2f}"
+                f"  completion {mm.avg_completion_time:8.1f}"
+                f"  ({mm.n_runs} runs, {mm.n_requests} requests)"
+            )
+            for key, n in mm.counters.items():
+                point_counters[key] = point_counters.get(key, 0) + n
+        hits = {k: point_counters[k] for k in _FAULT_COUNTER_KEYS if point_counters.get(k)}
+        if hits:
+            print("  faults: " + "  ".join(f"{k.split('.', 1)[1]}={n}" for k, n in hits.items()))
+    print()
+    print(format_timings(result.timings, title=f"{args.name} phases"))
+    print(
+        f"[{result.n_jobs} jobs, {result.processes} workers, chunksize {result.chunksize}; "
+        f"world cache {result.cache_hits}/{result.cache_hits + result.cache_misses} hits; "
+        f"{result.slots_per_sec or 0.0:,.0f} slots/s]"
+    )
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    payload = result.as_dict()
+    payload["fault_axis"] = {"axis": args.axis, "values": values}
+    result_path = out_dir / f"{args.name}.json"
+    result_path.write_text(json.dumps(payload, indent=2, default=str))
+    manifest = sweep_manifest(result, name=args.name)
+    manifest.extra.update({"kind": "faults", "fault_axis": args.axis, "fault_values": values})
     manifest_path = manifest.save(out_dir / f"{args.name}.manifest.json")
     bench_path = save_bench(result, args.name, out_dir)
     print(format_counters(manifest.counters, title="grid counter totals"))
@@ -397,6 +587,8 @@ def main(argv: list[str] | None = None) -> int:
         return _trace_main(argv[1:])
     if argv and argv[0] == "sweep":
         return _sweep_main(argv[1:])
+    if argv and argv[0] == "faults":
+        return _faults_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "report":
         from repro.experiments.fullreport import generate_report

@@ -34,6 +34,8 @@ class BmmmMac(MacBase):
 
     def serve_group(self, req: MacRequest):
         remaining = sorted(req.dests)
+        #: Consecutive silent DATA rounds per receiver (give-up cap).
+        fails: dict[int, int] = {}
         attempt = 0
         while remaining:
             if req.expired(self.env.now):
@@ -49,10 +51,13 @@ class BmmmMac(MacBase):
                 continue
             req.acked |= result.acked
             served = set(result.acked)
-            if served:
+            dropped = self._giveup_candidates(fails, remaining, served)
+            if dropped:
+                self._note_give_up(req, dropped)
+            if served or dropped:
                 attempt = 0  # progress: reset the backoff stage
             else:
                 attempt += 1
                 self._note_retry(req, "no_progress", attempt)
-            remaining = [p for p in remaining if p not in served]
+            remaining = [p for p in remaining if p not in served and p not in dropped]
         return MessageStatus.COMPLETED

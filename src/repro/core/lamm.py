@@ -111,6 +111,8 @@ class LammMac(MacBase):
     def serve_group(self, req: MacRequest):
         radius = self.radius()
         remaining: set[int] = set(req.dests)
+        #: Consecutive silent DATA rounds per receiver (give-up cap).
+        fails: dict[int, int] = {}
         attempt = 0
         while remaining:
             if req.expired(self.env.now):
@@ -144,6 +146,33 @@ class LammMac(MacBase):
                 # explicit ACKs -- Theorem 3's coverage argument at work.
                 counters.inc("lamm.update_shrinks", node=self.node_id)
                 counters.inc("lamm.inferred", node=self.node_id, n=len(inferred))
+                # Theorem 3 is exact under the model it assumes (true
+                # positions, unit-disk loss).  Check each inference against
+                # the channel's ground truth: a member declared covered that
+                # never decoded this DATA frame is a coverage violation --
+                # the correctness cost of location error / bursty loss.
+                violated = inferred - self.channel.stats.data_receipts.get(
+                    req.msg_id, set()
+                )
+                if violated:
+                    counters.inc(
+                        "lamm.coverage_violations", node=self.node_id, n=len(violated)
+                    )
+                    if self.env.obs.active:
+                        self.env.obs.emit(
+                            "lamm_coverage_violation",
+                            node=self.node_id,
+                            msg_id=req.msg_id,
+                            members=sorted(violated),
+                        )
+            # Per-receiver retry cap: abandon members that stayed silent
+            # through `receiver_give_up` consecutive DATA rounds (crashed,
+            # or in a loss burst) instead of re-polling them forever.
+            dropped = self._giveup_candidates(fails, polled, acked)
+            dropped &= next_remaining  # coverage may already have removed them
+            if dropped:
+                self._note_give_up(req, dropped)
+                next_remaining -= dropped
             obs = self.env.obs
             if obs.active:
                 obs.emit(

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Type
 
 from repro.core.bmmm import BmmmMac
+from repro.faults.plan import FaultPlan
 from repro.core.lamm import LammMac
 from repro.mac.base import MacBase
 from repro.mac.contention import ContentionParams
@@ -57,6 +58,10 @@ class SimulationSettings:
     #: the interference ablation sweeps it upward).
     interference_factor: float = 1.0
     contention: ContentionParams = field(default_factory=ContentionParams)
+    #: Impairments beyond the paper's benign world (bursty loss, churn,
+    #: location error, retry caps); the default plan is all-zero and
+    #: contractually free (see repro.faults).
+    faults: FaultPlan = field(default_factory=FaultPlan)
 
     def with_(self, **changes: Any) -> "SimulationSettings":
         """A modified copy (sweep helper)."""

@@ -213,10 +213,14 @@ def _sweep(
     of each (point, seed) cell either way -- results are bit-identical to
     per-run serial execution (tested).
     """
+    from repro.experiments.scenario import Scenario
     from repro.experiments.sweep import run_sweep
 
     seeds = list(seeds)
-    result = run_sweep(protocols, settings_list, seeds, processes=processes)
+    scenario = Scenario(
+        settings=settings_list[0], protocols=tuple(protocols), seeds=tuple(seeds)
+    )
+    result = run_sweep(scenario, list(settings_list), processes=processes)
     series: dict[str, list[float]] = {p: [] for p in protocols}
     extra: dict[str, dict[str, list[float]]] = {
         m: {p: [] for p in protocols} for m in extra_metrics

@@ -9,11 +9,13 @@ record how many in their output).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from statistics import mean, pstdev
 from typing import Any, Iterable, Sequence, Type
 
 from repro.experiments.config import SimulationSettings, protocol_class
+from repro.experiments.scenario import Scenario
 from repro.mac.base import MacBase, MacConfig, MacRequest
 from repro.metrics.aggregate import RunMetrics, summarize_run
 from repro.obs.counters import Counters, merge_counter_dicts
@@ -28,7 +30,25 @@ from repro.workload.cache import WorldParts
 from repro.workload.generator import TrafficGenerator
 from repro.workload.topology import uniform_square
 
-__all__ = ["RawRun", "MeanMetrics", "build_network", "run_raw", "run_once", "run_protocol", "compare"]
+__all__ = [
+    "RawRun",
+    "MeanMetrics",
+    "build_network",
+    "run_raw",
+    "run",
+    "run_once",
+    "run_protocol",
+    "compare",
+]
+
+
+def _warn_legacy(func: str, hint: str) -> None:
+    warnings.warn(
+        f"{func}(...) with positional settings/seeds is deprecated; "
+        f"pass a repro.Scenario instead, e.g. {func}({hint})",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass
@@ -132,11 +152,13 @@ def build_network(
         mac_config=MacConfig(
             contention=settings.contention,
             timeout_slots=settings.timeout_slots,
+            receiver_give_up=settings.faults.receiver_give_up,
         ),
         mac_kwargs=mac_kwargs,
         record_transmissions=record_transmissions,
         interference_factor=settings.interference_factor,
         propagation=propagation,
+        faults=settings.faults,
     )
 
 
@@ -204,36 +226,94 @@ def run_raw(
 
 
 def run_once(
-    mac_cls: Type[MacBase],
-    settings: SimulationSettings,
-    seed: int,
+    mac_cls: "Type[MacBase] | Scenario",
+    settings: SimulationSettings | None = None,
+    seed: int | None = None,
     mac_kwargs: dict[str, Any] | None = None,
 ) -> RunMetrics:
-    """One run, scored at the settings' threshold."""
+    """One run, scored at the scenario's threshold.
+
+    Canonical form: ``run_once(Scenario(settings=..., protocols="BMMM",
+    seeds=7))`` — exactly one protocol and one seed.  The legacy
+    ``run_once(mac_cls, settings, seed)`` signature is deprecated.
+    """
+    if isinstance(mac_cls, Scenario):
+        sc = mac_cls
+        if settings is not None or seed is not None or mac_kwargs is not None:
+            raise TypeError("run_once(Scenario) takes no further arguments")
+        cls, kwargs = protocol_class(sc.protocol)
+        return run_raw(cls, sc.settings, sc.seed, kwargs).metrics(sc.threshold)
+    _warn_legacy("run_once", 'Scenario(settings=s, protocols="BMMM", seeds=0)')
+    assert settings is not None and seed is not None
     return run_raw(mac_cls, settings, seed, mac_kwargs).metrics()
 
 
-def run_protocol(
+def _mean_metrics(
     name: str,
     settings: SimulationSettings,
-    seeds: Iterable[int],
+    seeds: Sequence[int],
+    threshold: float | None = None,
 ) -> MeanMetrics:
-    """Seed-averaged metrics for a registered protocol."""
     mac_cls, kwargs = protocol_class(name)
     runs: list[RunMetrics] = []
     degrees: list[float] = []
     for seed in seeds:
         raw = run_raw(mac_cls, settings, seed, kwargs)
-        runs.append(raw.metrics())
+        runs.append(raw.metrics(threshold))
         degrees.append(raw.average_degree)
     return MeanMetrics.from_runs(runs, degrees)
 
 
+def run_protocol(
+    name: "str | Scenario",
+    settings: SimulationSettings | None = None,
+    seeds: Iterable[int] | None = None,
+) -> MeanMetrics:
+    """Seed-averaged metrics for a single registered protocol.
+
+    Canonical form: ``run_protocol(Scenario(protocols="LAMM",
+    seeds=range(100)))``.  The legacy ``run_protocol(name, settings,
+    seeds)`` signature is deprecated.
+    """
+    if isinstance(name, Scenario):
+        if settings is not None or seeds is not None:
+            raise TypeError("run_protocol(Scenario) takes no further arguments")
+        return _mean_metrics(name.protocol, name.settings, name.seeds, name.threshold)
+    _warn_legacy("run_protocol", 'Scenario(settings=s, protocols="LAMM", seeds=range(20))')
+    assert settings is not None and seeds is not None
+    return _mean_metrics(name, settings, list(seeds))
+
+
+def run(scenario: Scenario) -> dict[str, MeanMetrics]:
+    """Run every protocol of *scenario* on identical workloads.
+
+    The canonical entry point for one-point experiments (the sweep engine
+    handles grids): returns ``{protocol: MeanMetrics}`` in the scenario's
+    protocol order.  Topology and traffic depend only on (settings, seed),
+    so all protocols face the same workloads.
+    """
+    return {
+        name: _mean_metrics(name, scenario.settings, scenario.seeds, scenario.threshold)
+        for name in scenario.protocols
+    }
+
+
 def compare(
-    names: Sequence[str],
-    settings: SimulationSettings,
-    seeds: Iterable[int],
+    names: "Sequence[str] | Scenario",
+    settings: SimulationSettings | None = None,
+    seeds: Iterable[int] | None = None,
 ) -> dict[str, MeanMetrics]:
-    """Run several protocols on identical workloads."""
+    """Run several protocols on identical workloads.
+
+    Canonical form: ``compare(Scenario(...))`` — equivalent to
+    :func:`run`.  The legacy ``compare(names, settings, seeds)``
+    signature is deprecated.
+    """
+    if isinstance(names, Scenario):
+        if settings is not None or seeds is not None:
+            raise TypeError("compare(Scenario) takes no further arguments")
+        return run(names)
+    _warn_legacy("compare", "Scenario(settings=s, protocols=names, seeds=range(20))")
+    assert settings is not None and seeds is not None
     seeds = list(seeds)
-    return {name: run_protocol(name, settings, seeds) for name in names}
+    return {name: _mean_metrics(name, settings, seeds) for name in names}

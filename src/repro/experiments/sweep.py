@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -39,6 +40,7 @@ from typing import Iterable, Sequence
 from repro.experiments.config import SimulationSettings, protocol_class
 from repro.experiments.parallel import auto_chunksize
 from repro.experiments.runner import MeanMetrics, run_raw
+from repro.experiments.scenario import Scenario
 from repro.metrics.aggregate import RunMetrics
 from repro.obs.manifest import RunManifest, settings_to_dict
 from repro.obs.profile import PhaseTimer
@@ -52,6 +54,7 @@ __all__ = [
     "plan_jobs",
     "run_job",
     "run_sweep",
+    "sweep",
     "sweep_manifest",
     "bench_record",
     "save_bench",
@@ -244,15 +247,21 @@ class SweepResult:
 
 
 def run_sweep(
-    protocols: Sequence[str],
-    points: Sequence[SimulationSettings],
-    seeds: Iterable[int],
+    protocols: "Sequence[str] | Scenario",
+    points: Sequence[SimulationSettings] | None = None,
+    seeds: Iterable[int] | None = None,
     *,
     processes: int | None = None,
     chunksize: int | None = None,
     threshold: float | None = None,
 ) -> SweepResult:
     """Run the full protocols x points x seeds grid.
+
+    Canonical form: ``run_sweep(Scenario(...), points=[...])`` -- the
+    scenario supplies protocols, seeds and scoring threshold; *points*
+    lists the per-point settings (defaulting to the scenario's own
+    settings as a single point).  The legacy
+    ``run_sweep(protocols, points, seeds)`` signature is deprecated.
 
     ``processes=None`` uses ``os.cpu_count()``; ``processes=1`` runs
     in-process (with the same world cache, still bit-identical).  The
@@ -261,9 +270,27 @@ def run_sweep(
     worker caches see every protocol of a cell; pass *chunksize* (in
     jobs) to override.
     """
-    protocols = list(protocols)
-    points = list(points)
-    seeds = list(seeds)
+    if isinstance(protocols, Scenario):
+        sc = protocols
+        if seeds is not None:
+            raise TypeError("run_sweep(Scenario) takes seeds from the scenario")
+        protocols = list(sc.protocols)
+        points = list(points) if points is not None else [sc.settings]
+        seeds = list(sc.seeds)
+        if threshold is None:
+            threshold = sc.threshold
+    else:
+        warnings.warn(
+            "run_sweep(protocols, points, seeds) is deprecated; pass a "
+            "repro.Scenario (plus points=[...] for a grid) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if points is None or seeds is None:
+            raise TypeError("legacy run_sweep needs explicit points and seeds")
+        protocols = list(protocols)
+        points = list(points)
+        seeds = list(seeds)
     if not protocols or not points or not seeds:
         raise ValueError("sweep needs at least one protocol, one point and one seed")
     timer = PhaseTimer()
@@ -311,6 +338,25 @@ def run_sweep(
         cache_hits=hits,
         cache_misses=misses,
     )
+
+
+def sweep(
+    scenario: Scenario,
+    points: Sequence[SimulationSettings] | None = None,
+    *,
+    processes: int | None = None,
+    chunksize: int | None = None,
+) -> SweepResult:
+    """The canonical grid entry point: :func:`run_sweep` over a Scenario.
+
+    ``sweep(Scenario(...))`` runs the scenario's settings as a single
+    point; pass *points* for a real grid (each point a
+    :class:`SimulationSettings`, typically built with
+    ``scenario.settings.with_(...)``).
+    """
+    if not isinstance(scenario, Scenario):
+        raise TypeError(f"sweep() needs a Scenario, got {type(scenario).__name__}")
+    return run_sweep(scenario, points, processes=processes, chunksize=chunksize)
 
 
 # --------------------------------------------------------------------------

@@ -1,0 +1,25 @@
+"""Fault injection: impairments the paper's benign world never exercises.
+
+The paper's evaluation (Section 7) assumes a memoryless frame-error
+channel, immortal nodes and perfect location knowledge.  This package
+stress-tests the protocols when those assumptions break:
+
+* :class:`GilbertElliott` -- a two-state bursty frame-error channel
+  (Gilbert-Elliott), alongside the existing i.i.d. ``frame_error_rate``;
+* :class:`NodeChurn` -- crash/recover schedules, so a polled receiver can
+  die mid-batch and exercise the RAK timeout/retry path;
+* location error -- Gaussian jitter on the positions LAMM's geometry
+  sees, while the true positions keep driving propagation.
+
+Everything is configured through one frozen :class:`FaultPlan` carried on
+:class:`~repro.experiments.config.SimulationSettings`; an all-zero plan is
+guaranteed free (bit-identical metrics and counters, pinned by a property
+test).  Runtime machinery lives in :class:`FaultInjector`, which draws
+from dedicated ``{seed}:faults:*`` RNG streams so fault draws never
+perturb the channel or MAC streams.
+"""
+
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import FaultPlan, GilbertElliott, NodeChurn
+
+__all__ = ["FaultPlan", "GilbertElliott", "NodeChurn", "FaultInjector"]

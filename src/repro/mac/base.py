@@ -98,6 +98,9 @@ class MacRequest:
     #: Subset of ``acked`` whose reception LAMM *inferred* from coverage
     #: (Theorem 3) rather than observed via an ACK.
     inferred: set[int] = field(default_factory=set)
+    #: Receivers the sender dropped after the per-receiver retry cap
+    #: (``MacConfig.receiver_give_up``) -- empty with the cap disabled.
+    gave_up: set[int] = field(default_factory=set)
 
     @property
     def is_group(self) -> bool:
@@ -123,6 +126,12 @@ class MacConfig:
     timeout_slots: float = 100.0
     #: Retry limit for the unicast DCF engine.
     unicast_retry_limit: int = 7
+    #: Per-receiver retry cap for the batch protocols (BMMM/LAMM): after
+    #: this many *consecutive* DATA rounds in which a polled receiver
+    #: stayed silent, the sender drops it from the batch and counts
+    #: ``faults.receiver_give_ups``.  0 = never give up (paper behaviour).
+    #: Wired from ``FaultPlan.receiver_give_up`` by the experiment runner.
+    receiver_give_up: int = 0
 
     @property
     def t_signal(self) -> int:
@@ -188,7 +197,10 @@ class MacBase:
         return self.channel.neighbors(self.node_id)
 
     def positions(self):
-        return self.channel.propagation.positions
+        """Positions as this MAC *believes* them (see
+        :meth:`Channel.sensed_positions`): ground truth unless a
+        location-error fault jitters the protocols' map."""
+        return self.channel.sensed_positions()
 
     def radius(self) -> float:
         return self.channel.propagation.radius
@@ -354,6 +366,47 @@ class MacBase:
                 msg_id=req.msg_id,
                 stage=stage,
                 attempt=attempt,
+            )
+
+    def _giveup_candidates(
+        self, fails: dict[int, int], polled: list[int], acked: set[int]
+    ) -> set[int]:
+        """Update per-receiver consecutive-silence counts after one DATA
+        round and return the receivers that just hit the give-up cap.
+
+        *fails* is the caller's per-request scoreboard; only DATA rounds
+        count (a NO_CTS round says nothing about individual receivers,
+        since contention or NAV can silence all of them at once).  An ACK
+        resets a receiver's count.  With ``receiver_give_up == 0`` this
+        is a no-op returning the empty set.
+        """
+        cap = self.config.receiver_give_up
+        if cap <= 0:
+            return set()
+        dropped: set[int] = set()
+        for p in polled:
+            if p in acked:
+                fails.pop(p, None)
+            else:
+                count = fails.get(p, 0) + 1
+                fails[p] = count
+                if count >= cap:
+                    dropped.add(p)
+        return dropped
+
+    def _note_give_up(self, req: MacRequest, dropped: set[int]) -> None:
+        """Account for receivers abandoned under the retry cap."""
+        req.gave_up |= dropped
+        self.channel.counters.inc(
+            "faults.receiver_give_ups", node=self.node_id, n=len(dropped)
+        )
+        obs = self.env.obs
+        if obs.active:
+            obs.emit(
+                "receiver_give_up",
+                node=self.node_id,
+                msg_id=req.msg_id,
+                receivers=sorted(dropped),
             )
 
     # -- receiver side -------------------------------------------------------------------

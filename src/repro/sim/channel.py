@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.obs.counters import Counters
 from repro.phy.capture import CaptureModel, NoCapture
@@ -38,6 +39,11 @@ from repro.phy.propagation import UnitDiskPropagation
 from repro.sim.frames import Frame, FrameType
 from repro.sim.kernel import Environment, Event, PRIORITY_DELIVERY
 from repro.sim.radio import Radio
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from repro.faults.inject import FaultInjector
 
 __all__ = ["Transmission", "Channel", "ChannelStats"]
 
@@ -137,6 +143,13 @@ class Channel:
             self.counters.total[ft.delivered_key] = 0
         # The environment's bus never changes; cache it for the hot paths.
         self._obs = env.obs
+        #: Optional fault machinery (repro.faults); attached by Network when
+        #: the settings carry a plan that needs it.  None keeps the benign
+        #: hot paths at one attribute load + branch per frame.
+        self.faults: "FaultInjector | None" = None
+        #: Positions as the protocols *perceive* them (location-error fault);
+        #: None means perception == truth.
+        self.perceived_positions: "np.ndarray | None" = None
         #: Complete transmission log (for timeline figures); only populated
         #: when *record_transmissions* is set, to keep long runs lean.
         self.record_transmissions = record_transmissions
@@ -167,6 +180,19 @@ class Channel:
     def neighbors(self, node_id: int) -> frozenset[int]:
         return self.propagation.neighbors[node_id]
 
+    def sensed_positions(self) -> "np.ndarray":
+        """Positions as protocol/beacon code should see them.
+
+        Equal to the ground-truth ``propagation.positions`` unless a
+        location-error fault is active, in which case each node's
+        coordinates carry a fixed Gaussian jitter.  Propagation,
+        collisions and delivery always use the truth; only *beliefs*
+        (LAMM's cover geometry, beacon payloads) go through here.
+        """
+        if self.perceived_positions is not None:
+            return self.perceived_positions
+        return self.propagation.positions
+
     def finalize_counters(self) -> Counters:
         """Fold the frame totals from ``stats`` into ``counters.total``.
 
@@ -192,6 +218,21 @@ class Channel:
             raise RuntimeError(
                 f"node {radio.node_id} attempted to transmit {frame} while already transmitting"
             )
+        faults = self.faults
+        if faults is not None and radio.node_id in faults.down:
+            # Crashed node: its MAC processes keep running, but the radio is
+            # dark -- the frame never reaches the air (no stats, no carrier
+            # sense at anyone).  The sender still experiences the airtime.
+            self.counters.inc("faults.tx_suppressed", node=radio.node_id)
+            obs = self._obs
+            if obs.active:
+                obs.emit(
+                    "fault_tx_suppressed",
+                    node=radio.node_id,
+                    ftype=frame.ftype.value,
+                    uid=frame.uid,
+                )
+            return self.env.timeout(frame.airtime, value=None, priority=PRIORITY_DELIVERY)
         now = self.env.now
         tx = Transmission(frame, radio.node_id, now, now + frame.airtime)
         self._max_airtime = max(self._max_airtime, frame.airtime)
@@ -270,6 +311,21 @@ class Channel:
 
     def _receive_at(self, radio: Radio, tx: Transmission) -> None:
         obs = self._obs
+        faults = self.faults
+        if faults is not None and radio.node_id in faults.down:
+            # Crashed receiver: radio is dark, nothing is decoded and no
+            # collision/half-duplex accounting applies (the frame's energy
+            # still interfered at *live* receivers via the overlap lists).
+            self.counters.inc("faults.rx_dropped", node=radio.node_id)
+            if obs.active:
+                obs.emit(
+                    "fault_rx_dropped",
+                    node=radio.node_id,
+                    uid=tx.frame.uid,
+                    ftype=tx.frame.ftype.value,
+                    src=tx.sender,
+                )
+            return
         # Half-duplex: receiving while transmitting is impossible.
         if any(own.overlaps(tx) for own in radio.own_tx):
             self.stats.half_duplex_losses += 1
@@ -333,6 +389,21 @@ class Channel:
             if obs.active:
                 obs.emit(
                     "frame_error",
+                    node=radio.node_id,
+                    uid=tx.frame.uid,
+                    ftype=tx.frame.ftype.value,
+                    src=tx.sender,
+                )
+            return
+
+        if faults is not None and faults.ge is not None and faults.frame_lost(
+            radio.node_id, self.env.now
+        ):
+            # Bursty (Gilbert-Elliott) loss, on top of the i.i.d. channel.
+            self.counters.inc("faults.burst_losses", node=radio.node_id)
+            if obs.active:
+                obs.emit(
+                    "fault_burst_loss",
                     node=radio.node_id,
                     uid=tx.frame.uid,
                     ftype=tx.frame.ftype.value,

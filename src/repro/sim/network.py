@@ -17,6 +17,7 @@ import numpy as np
 from repro.mac.base import MacBase, MacConfig
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultPlan
     from repro.mac.beacons import BeaconConfig
 from repro.phy.capture import CaptureModel
 from repro.phy.propagation import UnitDiskPropagation
@@ -56,6 +57,12 @@ class Network:
         guarantees it matches *positions*/*radius*; the network holds a
         reference, so mutating it (mobility) affects every network
         sharing it.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan`.  When it carries
+        channel-side impairments (bursty loss, churn, location error) a
+        :class:`~repro.faults.inject.FaultInjector` is attached to the
+        channel; the ``receiver_give_up`` knob is wired separately through
+        :class:`MacConfig` by the experiment runner.
     """
 
     def __init__(
@@ -72,6 +79,7 @@ class Network:
         beacons: "BeaconConfig | None" = None,
         interference_factor: float = 1.0,
         propagation: UnitDiskPropagation | None = None,
+        faults: "FaultPlan | None" = None,
     ):
         self.env = Environment()
         self.propagation = (
@@ -88,6 +96,26 @@ class Network:
             record_transmissions=record_transmissions,
         )
         self.seed = seed
+        #: Optional fault machinery (see repro.faults).  Only instantiated
+        #: when the plan needs channel-side state, so benign runs carry no
+        #: injector at all -- the bit-identity contract's cheap half.
+        self.faults = None
+        if faults is not None and faults.needs_injector:
+            from repro.faults.inject import FaultInjector
+
+            self.faults = FaultInjector(
+                faults,
+                n_nodes=self.propagation.n_nodes,
+                seed=seed,
+                env=self.env,
+                counters=self.channel.counters,
+            )
+            self.channel.faults = self.faults
+            if faults.location_sigma > 0.0:
+                self.channel.perceived_positions = self.faults.perceive(
+                    self.propagation.positions
+                )
+            self.faults.start_churn()
         self.mac_config = mac_config or MacConfig()
         # Heterogeneous networks (Section 4's coexistence claim): pass a
         # sequence of MAC classes, one per node.

@@ -62,11 +62,18 @@ def topology_key(settings, seed: int) -> tuple:
 
 
 def schedule_key(settings, seed: int) -> tuple:
-    """Topology key plus the fields that determine the traffic schedule."""
+    """Topology key plus the fields that determine the traffic schedule.
+
+    The fault plan rides on this key (not the topology key): fault points
+    never change placement or connectivity, so a degradation sweep still
+    shares one O(n^2) topology build across all its fault levels, while
+    distinct plans keep distinct cache slots.
+    """
     return topology_key(settings, seed) + (
         settings.horizon,
         settings.message_rate,
         settings.mix,
+        settings.faults,
     )
 
 

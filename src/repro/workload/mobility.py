@@ -45,7 +45,12 @@ class RandomWaypointMobility:
     side:
         Width of the square arena.
     seed:
-        Waypoint RNG seed.
+        Waypoint RNG seed.  ``None`` (default) derives it from the
+        network's master seed, the same discipline every other stream
+        follows (topology, traffic, channel, per-node MACs): two networks
+        built from the same seed then move identically, and changing the
+        network seed changes the trajectories.  Pass an explicit int to
+        vary mobility independently of the rest of the world.
     """
 
     def __init__(
@@ -55,7 +60,7 @@ class RandomWaypointMobility:
         epoch: float = 50.0,
         pause: float = 0.0,
         side: float = 1.0,
-        seed: int = 0,
+        seed: int | None = None,
     ):
         if speed < 0:
             raise ValueError(f"speed must be non-negative, got {speed}")
@@ -68,7 +73,10 @@ class RandomWaypointMobility:
         self.epoch = float(epoch)
         self.pause = float(pause)
         self.side = float(side)
-        self.rng = np.random.default_rng((seed, 0x30B1))
+        if seed is None:
+            seed = network.seed
+        self.seed = seed
+        self.rng = np.random.default_rng((abs(seed), 0x30B1))
         n = network.n_nodes
         self._waypoints = self.rng.random((n, 2)) * side
         self._pause_until = np.zeros(n)

@@ -4,7 +4,14 @@ import json
 
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, build_sweep_parser, build_trace_parser, main
+from repro.cli import (
+    EXPERIMENTS,
+    build_faults_parser,
+    build_parser,
+    build_sweep_parser,
+    build_trace_parser,
+    main,
+)
 from repro.experiments.config import SIMULATED_PROTOCOLS
 from repro.experiments.figures import FigureResult, figure5, table1
 from repro.experiments.report import (
@@ -223,5 +230,56 @@ class TestSweepSubcommand:
         assert manifest.extra["experiment"] == "smoke"
         assert manifest.counters  # merged over every cell
         bench = json.loads((tmp_path / "BENCH_smoke.json").read_text())
+        assert bench["kind"] == "sweep-bench"
+        assert bench["grid"]["n_jobs"] == 2 * 2 * 2
+
+
+class TestFaultsSubcommand:
+    def test_parser_defaults(self):
+        args = build_faults_parser().parse_args([])
+        assert args.axis == "burst" and args.values is None
+        assert args.burst_loss == 0.2 and args.base_burst == 0.0
+        assert args.seeds == 3 and args.give_up == 0
+        assert args.name == "faults" and args.out == "results"
+
+    def test_rejects_unknown_axis(self):
+        with pytest.raises(SystemExit):
+            build_faults_parser().parse_args(["--axis", "gremlins"])
+
+    def test_faults_smoke(self, tmp_path, capsys):
+        """End-to-end degradation sweep: churn axis on top of a fixed
+        burst, table + fault counters + result/manifest/bench files --
+        the same invocation the CI faults-smoke job runs."""
+        from repro.obs.manifest import load_manifest
+
+        code = main(
+            [
+                "faults",
+                "--axis", "churn",
+                "--values", "0,0.002",
+                "--base-burst", "8",
+                "--protocols", "BMMM,LAMM",
+                "--seeds", "2",
+                "--jobs", "1",
+                "--horizon", "600",
+                "--nodes", "20",
+                "--name", "faults",
+                "--out", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "churn = 0" in out and "churn = 0.002" in out
+        assert "burst_losses" in out  # base burst active at every point
+        assert "crashes" in out  # churn active at the second point
+
+        payload = json.loads((tmp_path / "faults.json").read_text())
+        assert len(payload["points"]) == 2
+        assert payload["fault_axis"] == {"axis": "churn", "values": [0.0, 0.002]}
+        manifest = load_manifest(tmp_path / "faults.manifest.json")
+        assert manifest.extra["fault_axis"] == "churn"
+        assert manifest.counters["faults.burst_losses"] > 0
+        assert manifest.counters["faults.crashes"] > 0
+        bench = json.loads((tmp_path / "BENCH_faults.json").read_text())
         assert bench["kind"] == "sweep-bench"
         assert bench["grid"]["n_jobs"] == 2 * 2 * 2

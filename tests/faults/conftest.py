@@ -1,0 +1,22 @@
+"""Shared helpers for the fault-injection tests."""
+
+from dataclasses import replace
+
+
+def canon(m):
+    """A RunMetrics projection invariant to ``msg_id`` -- a process-global
+    diagnostic counter that differs between any two runs in one process.
+    Everything else must match bit-for-bit (same helper as the sweep
+    engine's bit-identity tests)."""
+    return (
+        m.threshold,
+        m.n_requests,
+        m.n_successful,
+        m.n_completed,
+        m.n_timed_out,
+        m.n_abandoned,
+        [replace(s, msg_id=0) for s in m.all_scores],
+        [replace(s, msg_id=0) for s in m.group_scores],
+        m.frames_sent,
+        m.counters,
+    )

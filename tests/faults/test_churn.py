@@ -1,0 +1,106 @@
+"""Node churn and the per-receiver give-up cap, end to end.
+
+Churn is "radio blackout" semantics: a crashed node's MAC processes keep
+running, but the channel suppresses its transmissions and drops frames
+ending at it.  The give-up cap exercises the other side: senders that
+stop waiting for receivers who have gone silent.
+"""
+
+import pytest
+
+from repro.experiments.config import SimulationSettings
+from repro.experiments.runner import run_once
+from repro.experiments.scenario import Scenario
+from repro.faults import FaultInjector, FaultPlan, GilbertElliott, NodeChurn
+
+CHURNY = SimulationSettings(
+    n_nodes=30,
+    horizon=1500,
+    message_rate=0.002,
+    faults=FaultPlan(churn=NodeChurn(crash_rate=5e-4, mean_downtime=150.0)),
+)
+#: A bursty channel plus a tight retry cap: receivers deep in a BAD
+#: sojourn stay silent long enough for senders to give up on them.
+GIVEUPPY = SimulationSettings(
+    n_nodes=30,
+    horizon=1500,
+    message_rate=0.002,
+    faults=FaultPlan(burst=GilbertElliott.from_burst(64, 0.3), receiver_give_up=2),
+)
+
+
+def run_metrics(settings, protocol="BMMM", seed=0):
+    return run_once(Scenario(settings=settings, protocols=protocol, seeds=seed))
+
+
+class TestChurnProcesses:
+    def test_start_churn_requires_kernel(self):
+        inj = FaultInjector(CHURNY.faults, n_nodes=4, seed=0)
+        with pytest.raises(RuntimeError, match="churn"):
+            inj.start_churn()
+
+    def test_crashes_and_recoveries_counted(self):
+        m = run_metrics(CHURNY)
+        assert m.counters["faults.crashes"] > 0
+        assert m.counters["faults.recoveries"] > 0
+        # Every recovery follows a crash of the same node.
+        assert m.counters["faults.recoveries"] <= m.counters["faults.crashes"]
+
+    def test_dead_radios_suppress_traffic(self):
+        m = run_metrics(CHURNY)
+        # With ~20 expected crashes over the run, some frames must have
+        # been caught dead on one side or the other.
+        assert m.counters["faults.rx_dropped"] > 0
+        assert m.counters["faults.tx_suppressed"] > 0
+
+    def test_churn_degrades_delivery(self):
+        benign = run_metrics(CHURNY.with_(faults=FaultPlan()))
+        churny = run_metrics(CHURNY)
+        assert churny.delivery_rate < benign.delivery_rate
+
+    def test_deterministic(self):
+        from tests.faults.conftest import canon
+
+        a, b = run_metrics(CHURNY, seed=1), run_metrics(CHURNY, seed=1)
+        assert canon(a) == canon(b)
+        assert a.counters == b.counters
+
+    def test_churn_counters_scale_with_rate(self):
+        calm = CHURNY.with_(
+            faults=FaultPlan(churn=NodeChurn(crash_rate=1e-4, mean_downtime=150.0))
+        )
+        assert (
+            run_metrics(calm).counters["faults.crashes"]
+            < run_metrics(CHURNY).counters["faults.crashes"]
+        )
+
+
+class TestReceiverGiveUp:
+    @pytest.mark.parametrize("protocol", ["BMMM", "LAMM"])
+    def test_give_ups_counted(self, protocol):
+        m = run_metrics(GIVEUPPY, protocol=protocol)
+        assert m.counters["faults.receiver_give_ups"] > 0
+
+    def test_no_cap_means_no_give_ups(self):
+        m = run_metrics(GIVEUPPY.with_(faults=GIVEUPPY.faults.with_(receiver_give_up=0)))
+        assert "faults.receiver_give_ups" not in m.counters
+
+    def test_given_up_receivers_recorded_on_request(self):
+        from repro.experiments.config import protocol_class
+        from repro.experiments.runner import run_raw
+
+        mac_cls, kwargs = protocol_class("BMMM")
+        raw = run_raw(mac_cls, GIVEUPPY, 0, kwargs)
+        gave_up = [req for req in raw.requests if req.gave_up]
+        assert gave_up
+        total = sum(len(req.gave_up) for req in gave_up)
+        assert total == raw.counters.total["faults.receiver_give_ups"]
+        for req in gave_up:
+            # Only real group members can be given up on.
+            assert req.gave_up <= set(req.dests)
+
+    def test_cap_bounds_batch_stalling(self):
+        """A tight cap must not stall forever on dead receivers: progress
+        keeps being made and the run still completes requests."""
+        m = run_metrics(GIVEUPPY)
+        assert m.n_completed > 0

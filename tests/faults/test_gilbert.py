@@ -1,0 +1,120 @@
+"""Unit tests for the Gilbert-Elliott machinery in ``FaultInjector``.
+
+These run kernel-free: chain and jitter queries need neither an
+``Environment`` nor ``Counters`` (only churn does), so the Markov
+statistics can be probed directly.
+"""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan, GilbertElliott
+
+
+def make_injector(ge: GilbertElliott, seed: int = 0) -> FaultInjector:
+    return FaultInjector(FaultPlan(burst=ge), n_nodes=4, seed=seed)
+
+
+class TestChainState:
+    def test_deterministic_across_injectors(self):
+        ge = GilbertElliott.from_burst(8, 0.3)
+        a = make_injector(ge, seed=5)
+        b = make_injector(ge, seed=5)
+        seq_a = [a.chain_state(0, float(t)) for t in range(200)]
+        seq_b = [b.chain_state(0, float(t)) for t in range(200)]
+        assert seq_a == seq_b
+        assert any(seq_a) and not all(seq_a)  # both states visited
+
+    def test_seed_changes_sequence(self):
+        ge = GilbertElliott.from_burst(8, 0.3)
+
+        def seq(s):
+            inj = make_injector(ge, seed=s)
+            return [inj.chain_state(0, float(t)) for t in range(200)]
+
+        assert seq(0) != seq(1)
+
+    def test_same_slot_query_reuses_state(self):
+        """Two frames ending in the same slot at one receiver see one
+        channel state -- that correlation is the point of the model."""
+        ge = GilbertElliott.from_burst(4, 0.4)
+        inj = make_injector(ge)
+        for t in range(50):
+            first = inj.chain_state(1, float(t))
+            assert inj.chain_state(1, float(t)) == first
+
+    def test_stationary_occupancy(self):
+        """Long-run BAD share matches the configured stationary_bad."""
+        ge = GilbertElliott.from_burst(8, 0.2)
+        inj = make_injector(ge)
+        n = 20_000
+        bad = sum(inj.chain_state(0, float(t)) for t in range(n))
+        assert bad / n == pytest.approx(0.2, abs=0.03)
+
+    def test_longer_bursts_at_same_marginal(self):
+        """from_burst holds the loss share fixed while concentrating the
+        losses: mean BAD run length grows with mean_burst."""
+
+        def mean_run(mean_burst: float) -> float:
+            inj = make_injector(GilbertElliott.from_burst(mean_burst, 0.2), seed=3)
+            states = [inj.chain_state(0, float(t)) for t in range(30_000)]
+            runs, current = [], 0
+            for s in states:
+                if s:
+                    current += 1
+                elif current:
+                    runs.append(current)
+                    current = 0
+            return sum(runs) / len(runs)
+
+        short, long = mean_run(2.0), mean_run(32.0)
+        assert long > 4 * short
+        assert short == pytest.approx(2.0, rel=0.3)
+        assert long == pytest.approx(32.0, rel=0.3)
+
+    def test_lazy_advance_converges_to_stationary(self):
+        """A chain left alone for many slots forgets its state: the
+        closed-form n-step advance must approach pi_B regardless of the
+        last observation."""
+        ge = GilbertElliott.from_burst(4, 0.5)
+        hits = 0
+        trials = 4000
+        for k in range(trials):
+            inj = make_injector(ge, seed=k)
+            inj._ge_bad[0] = True  # pin a known state...
+            inj._ge_time[0] = 0.0
+            hits += inj.chain_state(0, 10_000.0)  # ...then leap far ahead
+        assert hits / trials == pytest.approx(0.5, abs=0.03)
+
+
+class TestFrameLost:
+    def test_loss_probabilities_follow_state(self):
+        """loss_bad=1 / loss_good=0 makes frame_lost the chain itself."""
+        ge = GilbertElliott.from_burst(8, 0.3)
+        a = make_injector(ge, seed=7)
+        b = make_injector(ge, seed=7)
+        for t in range(300):
+            assert a.frame_lost(0, float(t)) == b.chain_state(0, float(t))
+
+    def test_partial_loss_probabilities(self):
+        """With loss_bad<1 some BAD-state frames survive."""
+        ge = GilbertElliott.from_burst(8, 0.5, loss_bad=0.5)
+        inj = make_injector(ge)
+        losses = sum(inj.frame_lost(0, float(t)) for t in range(20_000))
+        # Marginal loss = pi_B * loss_bad = 0.25.
+        assert losses / 20_000 == pytest.approx(0.25, abs=0.03)
+
+    def test_noop_chain_never_loses(self):
+        inj = FaultInjector(
+            FaultPlan(burst=GilbertElliott(p_good_bad=0.5, loss_bad=0.0)),
+            n_nodes=2,
+            seed=0,
+        )
+        assert inj.ge is None
+        assert not any(inj.frame_lost(0, float(t)) for t in range(100))
+
+    def test_independent_chains_per_receiver(self):
+        ge = GilbertElliott.from_burst(8, 0.3)
+        inj = make_injector(ge, seed=2)
+        seq0 = [inj.chain_state(0, float(t)) for t in range(300)]
+        seq1 = [inj.chain_state(1, float(t)) for t in range(300)]
+        assert seq0 != seq1

@@ -1,0 +1,94 @@
+"""Location-error injection: protocols see jittered positions, the channel
+propagates on the truth.
+
+The interesting consequence is LAMM-specific: Theorem 3's coverage
+inference is only sound when the geometry it reasons over matches
+reality, so location error produces *coverage violations* -- receivers
+declared covered by an UPDATE who never actually got the DATA.  These
+are counted exactly (``lamm.coverage_violations``), satisfying the
+acceptance criterion that sigma > 0 makes the counter fire on a seeded
+scenario.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import SimulationSettings
+from repro.experiments.runner import run_once
+from repro.experiments.scenario import Scenario
+from repro.faults import FaultInjector, FaultPlan
+
+#: Probed scenario: sigma=0.08 (40% of the 0.2 radius) reliably produces
+#: unsound inferences at seed 3 while the network stays functional.
+JITTERY = SimulationSettings(
+    n_nodes=40,
+    horizon=2000,
+    message_rate=0.004,
+    faults=FaultPlan(location_sigma=0.08),
+)
+
+
+class TestPerceive:
+    def test_sigma_zero_returns_input_untouched(self):
+        inj = FaultInjector(FaultPlan(), n_nodes=3, seed=0)
+        pos = np.zeros((3, 2))
+        assert inj.perceive(pos) is pos
+
+    def test_jitter_is_gaussian_scale(self):
+        inj = FaultInjector(FaultPlan(location_sigma=0.05), n_nodes=500, seed=1)
+        pos = np.full((500, 2), 0.5)
+        jittered = inj.perceive(pos)
+        offsets = jittered - pos
+        assert offsets.std() == pytest.approx(0.05, rel=0.15)
+        assert abs(offsets.mean()) < 0.01
+
+    def test_jitter_deterministic_in_seed(self):
+        plan = FaultPlan(location_sigma=0.05)
+        pos = np.random.default_rng(0).random((10, 2))
+        a = FaultInjector(plan, 10, seed=4).perceive(pos)
+        b = FaultInjector(plan, 10, seed=4).perceive(pos)
+        c = FaultInjector(plan, 10, seed=5).perceive(pos)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+
+class TestSensedPositions:
+    def test_network_splits_truth_from_belief(self):
+        from repro.core.lamm import LammMac
+        from repro.sim.network import Network
+        from repro.workload.topology import uniform_square
+
+        pos = uniform_square(12, seed=0)
+        net = Network(
+            pos, 0.2, LammMac, seed=0, faults=FaultPlan(location_sigma=0.05)
+        )
+        sensed = net.channel.sensed_positions()
+        assert not np.array_equal(sensed, net.propagation.positions)
+        # Truth drives propagation, untouched by the jitter.
+        assert np.array_equal(net.propagation.positions, pos)
+
+    def test_benign_network_senses_truth(self):
+        from repro.core.lamm import LammMac
+        from repro.sim.network import Network
+        from repro.workload.topology import uniform_square
+
+        net = Network(uniform_square(12, seed=0), 0.2, LammMac, seed=0)
+        assert net.channel.sensed_positions() is net.propagation.positions
+
+
+class TestCoverageViolations:
+    def test_sigma_produces_violations(self):
+        m = run_once(Scenario(settings=JITTERY, protocols="LAMM", seeds=3))
+        assert m.counters["lamm.coverage_violations"] >= 1
+
+    def test_benign_lamm_never_violates(self):
+        """Theorem 3 is exact in the benign model: with true geometry the
+        inference can never declare an unreached receiver covered."""
+        benign = JITTERY.with_(faults=FaultPlan())
+        for seed in range(3):
+            m = run_once(Scenario(settings=benign, protocols="LAMM", seeds=seed))
+            assert "lamm.coverage_violations" not in m.counters
+
+    def test_violations_deterministic(self):
+        sc = Scenario(settings=JITTERY, protocols="LAMM", seeds=3)
+        assert run_once(sc).counters == run_once(sc).counters

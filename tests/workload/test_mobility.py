@@ -141,3 +141,45 @@ class TestMobileSimulations:
         net.env.process(scenario())
         net.run(until=20)
         assert got == []
+
+
+class TestSeedDiscipline:
+    """Mobility follows the repo-wide stream discipline: omit the seed and
+    it derives from the network's master seed (same world twice -> same
+    trajectories); pass one explicitly to vary mobility independently."""
+
+    def _trajectories(self, net_seed, mob_seed=None):
+        net = Network(
+            uniform_square(10, seed=net_seed), 0.2, PlainMulticastMac, seed=net_seed
+        )
+        mob = RandomWaypointMobility(net, speed=0.001, epoch=20, seed=mob_seed)
+        net.run(until=600)
+        return mob, net.propagation.positions.copy()
+
+    def test_default_seed_derives_from_network(self):
+        mob_a, pos_a = self._trajectories(net_seed=5)
+        mob_b, pos_b = self._trajectories(net_seed=5)
+        assert mob_a.seed == mob_b.seed == 5
+        assert np.array_equal(pos_a, pos_b)
+
+    def test_network_seed_changes_trajectories(self):
+        _, pos_a = self._trajectories(net_seed=5)
+        _, pos_b = self._trajectories(net_seed=6)
+        assert not np.array_equal(pos_a, pos_b)
+
+    def test_explicit_seed_decouples_waypoints(self):
+        """Same explicit mobility seed on different worlds draws the same
+        initial waypoints; different explicit seeds on one world diverge."""
+
+        def waypoints(net_seed, mob_seed):
+            net = Network(
+                uniform_square(10, seed=net_seed), 0.2, PlainMulticastMac, seed=net_seed
+            )
+            mob = RandomWaypointMobility(net, speed=0.001, epoch=20, seed=mob_seed)
+            assert mob.seed == mob_seed
+            return mob._waypoints.copy()
+
+        assert np.array_equal(waypoints(5, 99), waypoints(6, 99))
+        _, pos_x = self._trajectories(net_seed=5, mob_seed=99)
+        _, pos_y = self._trajectories(net_seed=5, mob_seed=100)
+        assert not np.array_equal(pos_x, pos_y)
