@@ -63,6 +63,7 @@ from repro.metrics import RunMetrics, summarize_run
 from repro.phy import MonteCarloCapture, NoCapture, ZorziRaoCapture
 from repro.protocols import BmwMac, BsmaMac, PlainMulticastMac, TangGerlaMac
 from repro.sim import Channel, Environment, Frame, FrameType, Network
+from repro.store import ResultStore, code_fingerprint, scenario_digest
 from repro.workload import TrafficGenerator, TrafficMix, uniform_square
 
 __version__ = "1.0.0"
@@ -120,4 +121,8 @@ __all__ = [
     "run_once",
     "run_protocol",
     "compare",
+    # the results store (durable memoisation + regression gate)
+    "ResultStore",
+    "scenario_digest",
+    "code_fingerprint",
 ]

@@ -8,7 +8,9 @@ Examples::
     repro-mac all --seeds 2 --profile
     repro-mac trace figure6a --seed 1 --protocol LAMM --out results/
     repro-mac sweep --axis nodes --values 40,70,100 --seeds 5 --jobs 0
+    repro-mac sweep --axis rate --seeds 20 --store results/store.sqlite
     repro-mac faults --axis burst --values 0,4,16,64 --seeds 3
+    repro-mac gate --baseline results/sweep.json --store results/store.sqlite
     python -m repro figure5
 
 Every ``--out`` invocation also writes a ``<name>.manifest.json``
@@ -19,10 +21,16 @@ and dumps the JSONL trace plus a lane diagram (see
 ``docs/observability.md``).  The ``sweep`` subcommand runs a protocols x
 points x seeds grid through the sweep engine
 (:mod:`repro.experiments.sweep`) and writes per-point metrics, a
-sweep-level manifest and a ``BENCH_<name>.json`` perf record.  The
-``faults`` subcommand is the degradation study: the same grid machinery
-sweeping one fault axis (burst / churn / sigma -- see ``docs/faults.md``)
-instead of a workload axis.
+sweep-level manifest and a ``BENCH_<name>.json`` perf record; with
+``--store PATH`` the grid runs against the content-addressed results
+store (already-computed cells are skipped, interrupted campaigns resume
+-- see ``docs/store.md``).  The ``faults`` subcommand is the degradation
+study: the same grid machinery sweeping one fault axis (burst / churn /
+sigma -- see ``docs/faults.md``) instead of a workload axis.  The
+``gate`` subcommand is the regression gate: rerun the campaign described
+by a previous sweep's results JSON and fail (exit 1) if metrics,
+counters or throughput drifted beyond tolerance, writing a
+machine-readable ``GATE_<name>.json`` report.
 """
 
 from __future__ import annotations
@@ -49,6 +57,7 @@ __all__ = [
     "build_trace_parser",
     "build_sweep_parser",
     "build_faults_parser",
+    "build_gate_parser",
 ]
 
 #: Experiments that run simulations and accept a ``seeds`` argument.
@@ -182,6 +191,20 @@ _SWEEP_AXES = {
 }
 
 
+def _print_execution(result) -> None:
+    """The shared one-line execution summary of a finished grid."""
+    print(
+        f"[{result.n_jobs} jobs, {result.processes} workers, chunksize {result.chunksize}; "
+        f"world cache {result.cache_hits}/{result.cache_hits + result.cache_misses} hits; "
+        f"{result.slots_per_sec or 0.0:,.0f} slots/s]"
+    )
+    if result.store_path is not None:
+        print(
+            f"[store {result.store_path}: {result.store_hits} cells served, "
+            f"{result.store_misses} computed]"
+        )
+
+
 def build_sweep_parser() -> argparse.ArgumentParser:
     """Argument parser for the ``repro-mac sweep`` subcommand."""
     parser = argparse.ArgumentParser(
@@ -235,6 +258,12 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         "--out", default="results", metavar="DIR",
         help="output directory (default results/)",
     )
+    parser.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="content-addressed results store (SQLite): skip cells already "
+        "computed under this settings digest + code fingerprint, commit "
+        "fresh cells as they finish so an interrupted campaign resumes",
+    )
     return parser
 
 
@@ -267,6 +296,7 @@ def _sweep_main(argv: list[str]) -> int:
         points,
         processes=args.jobs or None,
         chunksize=args.chunksize,
+        store=args.store,
     )
 
     for idx, value in enumerate(values):
@@ -281,11 +311,7 @@ def _sweep_main(argv: list[str]) -> int:
             )
     print()
     print(format_timings(result.timings, title=f"{args.name} phases"))
-    print(
-        f"[{result.n_jobs} jobs, {result.processes} workers, chunksize {result.chunksize}; "
-        f"world cache {result.cache_hits}/{result.cache_hits + result.cache_misses} hits; "
-        f"{result.slots_per_sec or 0.0:,.0f} slots/s]"
-    )
+    _print_execution(result)
 
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -382,6 +408,11 @@ def build_faults_parser() -> argparse.ArgumentParser:
         "--out", default="results", metavar="DIR",
         help="output directory (default results/)",
     )
+    parser.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="content-addressed results store (SQLite); same semantics as "
+        "'repro-mac sweep --store'",
+    )
     return parser
 
 
@@ -435,7 +466,7 @@ def _faults_main(argv: list[str]) -> int:
     scenario = Scenario(
         settings=base, protocols=tuple(protocols), seeds=tuple(range(args.seeds))
     )
-    result = run_sweep(scenario, points, processes=args.jobs or None)
+    result = run_sweep(scenario, points, processes=args.jobs or None, store=args.store)
 
     for idx, value in enumerate(values):
         print(f"== {args.axis} = {value:g} ==")
@@ -455,11 +486,7 @@ def _faults_main(argv: list[str]) -> int:
             print("  faults: " + "  ".join(f"{k.split('.', 1)[1]}={n}" for k, n in hits.items()))
     print()
     print(format_timings(result.timings, title=f"{args.name} phases"))
-    print(
-        f"[{result.n_jobs} jobs, {result.processes} workers, chunksize {result.chunksize}; "
-        f"world cache {result.cache_hits}/{result.cache_hits + result.cache_misses} hits; "
-        f"{result.slots_per_sec or 0.0:,.0f} slots/s]"
-    )
+    _print_execution(result)
 
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -476,6 +503,92 @@ def _faults_main(argv: list[str]) -> int:
     print(f"[manifest {manifest_path}]")
     print(f"[bench {bench_path}]")
     return 0
+
+
+# --------------------------------------------------------------------------
+# `repro-mac gate` -- regression gate against a stored baseline campaign
+# --------------------------------------------------------------------------
+
+
+def build_gate_parser() -> argparse.ArgumentParser:
+    """Argument parser for the ``repro-mac gate`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mac gate",
+        description=(
+            "Regression gate: rerun the campaign recorded in a previous "
+            "sweep's results JSON (its points/protocols/seeds define the "
+            "grid) and compare fresh metrics, counter totals and slots/sec "
+            "throughput against the baseline with configurable tolerances. "
+            "Writes GATE_<name>.json and exits 1 on failure."
+        ),
+    )
+    parser.add_argument(
+        "--baseline", required=True, metavar="REF",
+        help="path to the baseline results JSON (written by 'repro-mac "
+        "sweep --out'; the gate reruns exactly that grid)",
+    )
+    parser.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="results store: cells already computed are served from SQLite, "
+        "making gate-every-push affordable (bench check is skipped when "
+        "the whole campaign came from the store)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="worker processes (0 = one per CPU core, 1 = in-process; default 0)",
+    )
+    parser.add_argument(
+        "--metric-tol", type=float, default=0.0, metavar="REL",
+        help="relative tolerance on scalar metrics (default 0.0 = demand "
+        "bit-identical results)",
+    )
+    parser.add_argument(
+        "--bench-tol", type=float, default=0.25, metavar="FRAC",
+        help="fresh slots/sec must be at least FRAC of the baseline's "
+        "(default 0.25 -- catches order-of-magnitude regressions, "
+        "tolerates noisy CI boxes)",
+    )
+    parser.add_argument(
+        "--no-counters", action="store_true",
+        help="skip the exact per-cell counter comparison",
+    )
+    parser.add_argument(
+        "--name", default="gate", metavar="NAME",
+        help="basename for the GATE_<name>.json report (default: gate)",
+    )
+    parser.add_argument(
+        "--out", default="results", metavar="DIR",
+        help="output directory (default results/)",
+    )
+    return parser
+
+
+def _gate_main(argv: list[str]) -> int:
+    from pathlib import Path
+
+    from repro.store.gate import GateTolerances, format_gate_report, run_gate
+
+    args = build_gate_parser().parse_args(argv)
+    baseline_path = Path(args.baseline)
+    baseline = json.loads(baseline_path.read_text())
+    tolerances = GateTolerances(
+        metric_rel_tol=args.metric_tol,
+        bench_min_frac=args.bench_tol,
+        check_counters=not args.no_counters,
+    )
+    report, result = run_gate(
+        baseline,
+        name=args.name,
+        baseline_ref=str(baseline_path),
+        processes=args.jobs or None,
+        store=args.store,
+        tolerances=tolerances,
+    )
+    _print_execution(result)
+    print(format_gate_report(report))
+    report_path = report.save(Path(args.out) / f"GATE_{args.name}.json")
+    print(f"[gate report {report_path}]")
+    return 0 if report.passed else 1
 
 
 # --------------------------------------------------------------------------
@@ -589,6 +702,8 @@ def main(argv: list[str] | None = None) -> int:
         return _sweep_main(argv[1:])
     if argv and argv[0] == "faults":
         return _faults_main(argv[1:])
+    if argv and argv[0] == "gate":
+        return _gate_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "report":
         from repro.experiments.fullreport import generate_report

@@ -103,6 +103,16 @@ class Scenario:
         """A modified copy (mirrors ``SimulationSettings.with_``)."""
         return replace(self, **changes)
 
+    def digest(self) -> str:
+        """Canonical stable hash of this scenario (settings + protocols +
+        seeds + effective threshold) -- the identity the results store
+        and manifests record.  Field-order-insensitive and stable across
+        processes and releases of the digest schema; see
+        :mod:`repro.store.digests`."""
+        from repro.store.digests import scenario_digest
+
+        return scenario_digest(self)
+
     def per_protocol(self) -> Iterable["Scenario"]:
         """Split into single-protocol scenarios (same settings and seeds)."""
         for name in self.protocols:

@@ -24,6 +24,16 @@ Every sweep can emit a :class:`~repro.obs.manifest.RunManifest` (full
 provenance) and a ``BENCH_<name>.json`` perf record (slots/sec, per-phase
 wall clock, worker count, cache hit rate) -- see :func:`sweep_manifest`
 and :func:`save_bench`.  The CLI surface is ``repro-mac sweep``.
+
+Passing ``store=`` (a :class:`~repro.store.db.ResultStore` or a path)
+layers the content-addressed results store underneath: every cell already
+present under the current settings digest and code fingerprint is served
+from SQLite instead of dispatched, every freshly computed cell is
+committed the moment it arrives, and the merged :class:`SweepResult`
+stays bit-identical to a cold run (store hits carry the exact
+:class:`JobResult` the pool would have produced).  An interrupted
+campaign therefore resumes with only its missing cells -- see
+``docs/store.md``.
 """
 
 from __future__ import annotations
@@ -44,6 +54,8 @@ from repro.experiments.scenario import Scenario
 from repro.metrics.aggregate import RunMetrics
 from repro.obs.manifest import RunManifest, settings_to_dict
 from repro.obs.profile import PhaseTimer
+from repro.store.db import ResultStore
+from repro.store.digests import code_fingerprint, git_commit, settings_digest
 from repro.workload.cache import WorldCache
 
 __all__ = [
@@ -178,6 +190,14 @@ class SweepResult:
     threshold: float | None = None
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Cells served from the results store / dispatched because missing.
+    #: Both zero when the sweep ran without a store.
+    store_hits: int = 0
+    store_misses: int = 0
+    store_path: str | None = None
+    #: Per-point settings digests (the store addresses) -- recorded even
+    #: without a store so manifests always carry the cell identities.
+    point_digests: list[str] = field(default_factory=list)
 
     # -- accessors ---------------------------------------------------------
 
@@ -242,6 +262,11 @@ class SweepResult:
                 "slots_per_sec": self.slots_per_sec,
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
+                "store": {
+                    "path": self.store_path,
+                    "hits": self.store_hits,
+                    "misses": self.store_misses,
+                },
             },
         }
 
@@ -254,6 +279,7 @@ def run_sweep(
     processes: int | None = None,
     chunksize: int | None = None,
     threshold: float | None = None,
+    store=None,
 ) -> SweepResult:
     """Run the full protocols x points x seeds grid.
 
@@ -269,6 +295,14 @@ def run_sweep(
     :func:`auto_chunksize` over cells, times ``len(protocols)`` -- so
     worker caches see every protocol of a cell; pass *chunksize* (in
     jobs) to override.
+
+    *store* (a :class:`~repro.store.db.ResultStore` or a path, opened --
+    and then closed -- on your behalf) consults the content-addressed
+    results store before dispatching: cells already stored under the
+    current settings digest and code fingerprint are restored instead of
+    simulated, and every fresh cell is committed as soon as its worker
+    returns, so a killed campaign resumes where it stopped.  Merged
+    metrics and counters are bit-identical either way (tested).
     """
     if isinstance(protocols, Scenario):
         sc = protocols
@@ -295,49 +329,103 @@ def run_sweep(
         raise ValueError("sweep needs at least one protocol, one point and one seed")
     timer = PhaseTimer()
     jobs = plan_jobs(protocols, points, seeds, threshold)
-    n_cells = len(points) * len(seeds)
-    if processes == 1 or len(jobs) == 1:
-        workers = 1
-        cs = chunksize or len(protocols)
-        with timer.phase("dispatch"):
-            cache = WorldCache()
-            results = [run_job(job, cache) for job in jobs]
-    else:
-        workers = min(processes or os.cpu_count() or 1, len(jobs))
-        cs = chunksize or len(protocols) * auto_chunksize(n_cells, workers)
-        with timer.phase("dispatch"):
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(_sweep_worker, jobs, chunksize=cs))
-    with timer.phase("merge"):
-        cells: dict[tuple[int, str], SweepCell] = {
-            (p, proto): SweepCell() for p in range(len(points)) for proto in protocols
-        }
-        phase_sums: dict[str, float] = {}
-        hits = misses = 0
-        for res in results:
-            cell = cells[(res.point, res.protocol)]
-            cell.metrics.append(res.metrics)
-            cell.degrees.append(res.degree)
-            for phase, seconds in res.timings.items():
-                phase_sums[phase] = phase_sums.get(phase, 0.0) + seconds
-            if res.cache_hit:
-                hits += 1
-            else:
-                misses += 1
-    timings = {"dispatch": timer.timings.get("dispatch", 0.0), **phase_sums}
-    return SweepResult(
-        protocols=protocols,
-        points=points,
-        seeds=seeds,
-        cells=cells,
-        timings=timings,
-        wall_clock_s=timer.total,
-        processes=workers,
-        chunksize=cs,
-        threshold=threshold,
-        cache_hits=hits,
-        cache_misses=misses,
-    )
+    point_digests = [settings_digest(st, threshold) for st in points]
+
+    opened = None
+    if store is not None and not isinstance(store, ResultStore):
+        store = opened = ResultStore(store)
+    try:
+        stored: dict[tuple[int, str, int], JobResult] = {}
+        pending = jobs
+        fingerprint = None
+        if store is not None:
+            fingerprint = code_fingerprint()
+            with timer.phase("store"):
+                pending = []
+                for job in jobs:
+                    hit = store.get(
+                        point_digests[job.point], job.protocol, job.seed, fingerprint
+                    )
+                    if hit is not None:
+                        stored[(job.point, job.protocol, job.seed)] = hit
+                    else:
+                        pending.append(job)
+
+        fresh: dict[tuple[int, str, int], JobResult] = {}
+
+        def record(res: JobResult) -> None:
+            # Commit-per-cell: a kill between cells loses nothing.
+            if store is not None:
+                store.put(
+                    point_digests[res.point], res.protocol, res.seed, res, fingerprint
+                )
+            fresh[(res.point, res.protocol, res.seed)] = res
+
+        n_cells = len({(j.point, j.seed) for j in pending})
+        if not pending:
+            workers = 0
+            cs = chunksize or len(protocols)
+        elif processes == 1 or len(pending) == 1:
+            workers = 1
+            cs = chunksize or len(protocols)
+            with timer.phase("dispatch"):
+                cache = WorldCache()
+                for job in pending:
+                    record(run_job(job, cache))
+        else:
+            workers = min(processes or os.cpu_count() or 1, len(pending))
+            cs = chunksize or len(protocols) * auto_chunksize(n_cells, workers)
+            with timer.phase("dispatch"):
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    for res in pool.map(_sweep_worker, pending, chunksize=cs):
+                        record(res)
+
+        with timer.phase("merge"):
+            cells: dict[tuple[int, str], SweepCell] = {
+                (p, proto): SweepCell() for p in range(len(points)) for proto in protocols
+            }
+            phase_sums: dict[str, float] = {}
+            hits = misses = 0
+            # Walk the planned job order so per-cell metric lists stay
+            # seed-ordered regardless of where each result came from.
+            for job in jobs:
+                key = (job.point, job.protocol, job.seed)
+                restored = stored.get(key)
+                res = restored if restored is not None else fresh[key]
+                cell = cells[(res.point, res.protocol)]
+                cell.metrics.append(res.metrics)
+                cell.degrees.append(res.degree)
+                if restored is not None:
+                    continue  # no wall clock was spent on this cell now
+                for phase, seconds in res.timings.items():
+                    phase_sums[phase] = phase_sums.get(phase, 0.0) + seconds
+                if res.cache_hit:
+                    hits += 1
+                else:
+                    misses += 1
+        timings = {"dispatch": timer.timings.get("dispatch", 0.0), **phase_sums}
+        if "store" in timer.timings:
+            timings["store"] = timer.timings["store"]
+        return SweepResult(
+            protocols=protocols,
+            points=points,
+            seeds=seeds,
+            cells=cells,
+            timings=timings,
+            wall_clock_s=timer.total,
+            processes=workers,
+            chunksize=cs,
+            threshold=threshold,
+            cache_hits=hits,
+            cache_misses=misses,
+            store_hits=len(stored),
+            store_misses=len(pending) if store is not None else 0,
+            store_path=store.path if store is not None else None,
+            point_digests=point_digests,
+        )
+    finally:
+        if opened is not None:
+            opened.close()
 
 
 def sweep(
@@ -346,17 +434,21 @@ def sweep(
     *,
     processes: int | None = None,
     chunksize: int | None = None,
+    store=None,
 ) -> SweepResult:
     """The canonical grid entry point: :func:`run_sweep` over a Scenario.
 
     ``sweep(Scenario(...))`` runs the scenario's settings as a single
     point; pass *points* for a real grid (each point a
     :class:`SimulationSettings`, typically built with
-    ``scenario.settings.with_(...)``).
+    ``scenario.settings.with_(...)``), and *store* (path or
+    :class:`~repro.store.db.ResultStore`) to memoise/resume the campaign.
     """
     if not isinstance(scenario, Scenario):
         raise TypeError(f"sweep() needs a Scenario, got {type(scenario).__name__}")
-    return run_sweep(scenario, points, processes=processes, chunksize=chunksize)
+    return run_sweep(
+        scenario, points, processes=processes, chunksize=chunksize, store=store
+    )
 
 
 # --------------------------------------------------------------------------
@@ -388,12 +480,19 @@ def sweep_manifest(result: SweepResult, name: str = "sweep") -> RunManifest:
             "protocols": list(result.protocols),
             "n_points": len(result.points),
             "points": [settings_to_dict(st) for st in result.points],
+            "point_digests": list(result.point_digests),
             "seeds": list(result.seeds),
             "threshold": result.threshold,
             "processes": result.processes,
             "chunksize": result.chunksize,
             "cache_hits": result.cache_hits,
             "cache_misses": result.cache_misses,
+            "code_fingerprint": code_fingerprint(),
+            "store": {
+                "path": result.store_path,
+                "hits": result.store_hits,
+                "misses": result.store_misses,
+            },
         },
     )
 
@@ -404,12 +503,19 @@ def bench_record(result: SweepResult, name: str = "sweep") -> dict:
     Records wall clock per phase, throughput in simulated slots/sec (both
     end-to-end and inside the simulate phase alone), worker count,
     chunksize and world-cache hit rate -- the numbers future performance
-    PRs regress against.
+    PRs regress against.  Stamped with the git commit and the
+    simulation-code fingerprint so the bench trajectory stays
+    attributable across PRs, plus the results-store hit counts (a
+    warm-store record's throughput is not comparable to a cold one's).
     """
     simulate_s = result.timings.get("simulate", 0.0)
     return {
         "name": name,
         "kind": "sweep-bench",
+        "code": {
+            "git_commit": git_commit(),
+            "code_fingerprint": code_fingerprint(),
+        },
         "grid": {
             "protocols": list(result.protocols),
             "n_points": len(result.points),
@@ -431,6 +537,11 @@ def bench_record(result: SweepResult, name: str = "sweep") -> dict:
             "hit_rate": (
                 result.cache_hits / result.n_jobs if result.n_jobs else 0.0
             ),
+        },
+        "store": {
+            "path": result.store_path,
+            "hits": result.store_hits,
+            "misses": result.store_misses,
         },
     }
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping
 
-__all__ = ["Counters", "merge_counter_dicts"]
+__all__ = ["Counters", "merge_counter_dicts", "diff_counters"]
 
 
 class Counters:
@@ -96,4 +96,22 @@ def merge_counter_dicts(dicts: Iterable[Mapping[str, int]]) -> dict[str, int]:
     for d in dicts:
         for key, n in d.items():
             out[key] = out.get(key, 0) + n
+    return out
+
+
+def diff_counters(
+    baseline: Mapping[str, int], fresh: Mapping[str, int]
+) -> dict[str, tuple[int, int]]:
+    """Keys whose totals differ, as ``{key: (baseline, fresh)}``.
+
+    Missing keys count as 0 on that side, so an appearing or vanishing
+    counter registers as drift.  Used by the regression gate
+    (:mod:`repro.store.gate`): counters drift before headline metrics do
+    when a semantic change is subtle.
+    """
+    out: dict[str, tuple[int, int]] = {}
+    for key in baseline.keys() | fresh.keys():
+        b, f = baseline.get(key, 0), fresh.get(key, 0)
+        if b != f:
+            out[key] = (b, f)
     return out

@@ -21,14 +21,50 @@ from typing import Any
 __all__ = ["RunManifest", "settings_to_dict", "load_manifest"]
 
 
+def _jsonable(value: Any, path: str) -> Any:
+    """Recursively validate/convert one settings value.
+
+    Only JSON-native scalars, lists/tuples, str-keyed dicts and (already
+    ``asdict``-lowered) nested structures pass.  Anything else raises
+    :class:`TypeError` naming the field -- the old ``json.dumps(...,
+    default=str)`` path stringified unknown objects silently, which turns
+    a provenance record into a lie (a ``FaultPlan`` rendered as
+    ``"FaultPlan(...)"`` cannot be reloaded or diffed).
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v, f"{path}[{i}]") for i, v in enumerate(value)]
+    if isinstance(value, dict):
+        for key in value:
+            if not isinstance(key, str):
+                raise TypeError(f"{path}: dict key {key!r} is not a string")
+        return {k: _jsonable(v, f"{path}.{k}") for k, v in value.items()}
+    if is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(asdict(value), path)
+    raise TypeError(
+        f"{path}: cannot serialize {type(value).__name__!r} into a manifest -- "
+        "settings fields must be JSON-native or dataclasses of JSON-native values"
+    )
+
+
 def settings_to_dict(settings: Any) -> dict | None:
-    """JSON-safe dump of a settings object (dataclasses nested OK)."""
+    """JSON-safe dump of a settings object (dataclasses nested OK).
+
+    ``SimulationSettings`` serializes completely, including the nested
+    ``FaultPlan``/``GilbertElliott``/``NodeChurn`` legs (``asdict``
+    recursion); an unserializable field raises a clear :class:`TypeError`
+    instead of being silently stringified, so manifests never drop
+    provenance.  The result round-trips through
+    :func:`repro.store.gate.settings_from_dict`.
+    """
     if settings is None:
         return None
     if is_dataclass(settings) and not isinstance(settings, type):
-        return json.loads(json.dumps(asdict(settings), default=str))
+        name = type(settings).__name__
+        return _jsonable(asdict(settings), name)
     if isinstance(settings, dict):
-        return settings
+        return _jsonable(settings, "settings")
     raise TypeError(f"cannot serialize settings of type {type(settings).__name__}")
 
 

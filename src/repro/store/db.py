@@ -1,0 +1,231 @@
+"""The SQLite results store: durable memoisation of sweep cells.
+
+One row per computed cell, keyed by ``(scenario_digest, protocol, seed,
+code_fingerprint)`` -- see :mod:`repro.store.digests` for how the
+addresses are derived.  The payload is the worker's complete
+:class:`~repro.experiments.sweep.JobResult` (zlib-compressed pickle), so
+a store hit reproduces exactly what the pool would have sent back and
+merged results stay bit-identical to a cold run (pinned by
+``tests/experiments/test_sweep_store.py``).
+
+Durability discipline: every :meth:`ResultStore.put` commits immediately.
+A campaign killed mid-grid therefore keeps every finished cell, and the
+rerun dispatches only the missing ones -- that is the whole resumability
+story, there is no separate checkpoint format.
+
+Schema changes go through :data:`ResultStore.SCHEMA_VERSION` and
+``_MIGRATIONS``; opening a store written by a *newer* build fails loudly
+rather than guessing.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sqlite3
+import zlib
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.store.digests import code_fingerprint
+
+__all__ = ["ResultStore", "StoreError"]
+
+
+class StoreError(RuntimeError):
+    """Raised for schema/version problems -- never for plain cache misses."""
+
+
+def _utcnow() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+#: Applied in order; migration ``i`` upgrades a version-``i`` store to
+#: ``i + 1``.  Index 0 creates the version-1 schema from scratch.
+_MIGRATIONS = (
+    """
+    CREATE TABLE meta (
+        key   TEXT PRIMARY KEY,
+        value TEXT NOT NULL
+    );
+    CREATE TABLE results (
+        scenario_digest  TEXT    NOT NULL,
+        protocol         TEXT    NOT NULL,
+        seed             INTEGER NOT NULL,
+        code_fingerprint TEXT    NOT NULL,
+        payload          BLOB    NOT NULL,
+        created_at       TEXT    NOT NULL,
+        last_hit_at      TEXT,
+        hits             INTEGER NOT NULL DEFAULT 0,
+        PRIMARY KEY (scenario_digest, protocol, seed, code_fingerprint)
+    );
+    CREATE INDEX idx_results_fingerprint ON results (code_fingerprint);
+    """,
+)
+
+
+class ResultStore:
+    """Content-addressed store of finished simulation cells.
+
+    Open with a filesystem path (created on first use) or ``":memory:"``
+    for tests.  Usable as a context manager; safe to reopen across
+    processes -- SQLite serialises writers, and rows are immutable once
+    written (same key => same content, by construction).
+    """
+
+    SCHEMA_VERSION = len(_MIGRATIONS)
+
+    def __init__(self, path: str | Path):
+        self.path = str(path)
+        if self.path != ":memory:":
+            Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._migrate()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _migrate(self) -> None:
+        cur = self._conn.execute(
+            "SELECT name FROM sqlite_master WHERE type='table' AND name='meta'"
+        )
+        if cur.fetchone() is None:
+            version = 0
+        else:
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key='schema_version'"
+            ).fetchone()
+            version = int(row[0]) if row else 0
+        if version > self.SCHEMA_VERSION:
+            raise StoreError(
+                f"{self.path}: store schema v{version} is newer than this build "
+                f"supports (v{self.SCHEMA_VERSION}); upgrade the package or use a "
+                "fresh store"
+            )
+        for step in range(version, self.SCHEMA_VERSION):
+            self._conn.executescript(_MIGRATIONS[step])
+        if version != self.SCHEMA_VERSION:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES ('schema_version', ?)",
+                (str(self.SCHEMA_VERSION),),
+            )
+            self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the cell API ------------------------------------------------------
+
+    def get(
+        self,
+        scenario_digest: str,
+        protocol: str,
+        seed: int,
+        fingerprint: str | None = None,
+    ) -> Any | None:
+        """The stored payload for one cell, or ``None`` on miss.
+
+        A row written under a different *fingerprint* is a miss, not an
+        error -- stale code means the cell simply recomputes.
+        """
+        fp = fingerprint if fingerprint is not None else code_fingerprint()
+        row = self._conn.execute(
+            "SELECT payload FROM results WHERE scenario_digest=? AND protocol=?"
+            " AND seed=? AND code_fingerprint=?",
+            (scenario_digest, protocol, int(seed), fp),
+        ).fetchone()
+        if row is None:
+            return None
+        self._conn.execute(
+            "UPDATE results SET hits = hits + 1, last_hit_at = ?"
+            " WHERE scenario_digest=? AND protocol=? AND seed=? AND code_fingerprint=?",
+            (_utcnow(), scenario_digest, protocol, int(seed), fp),
+        )
+        self._conn.commit()
+        return pickle.loads(zlib.decompress(row[0]))
+
+    def put(
+        self,
+        scenario_digest: str,
+        protocol: str,
+        seed: int,
+        payload: Any,
+        fingerprint: str | None = None,
+    ) -> None:
+        """Insert one finished cell and commit immediately (resumability)."""
+        fp = fingerprint if fingerprint is not None else code_fingerprint()
+        blob = zlib.compress(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+        self._conn.execute(
+            "INSERT OR REPLACE INTO results"
+            " (scenario_digest, protocol, seed, code_fingerprint, payload, created_at)"
+            " VALUES (?, ?, ?, ?, ?, ?)",
+            (scenario_digest, protocol, int(seed), fp, blob, _utcnow()),
+        )
+        self._conn.commit()
+
+    def contains(
+        self, scenario_digest: str, protocol: str, seed: int, fingerprint: str | None = None
+    ) -> bool:
+        fp = fingerprint if fingerprint is not None else code_fingerprint()
+        row = self._conn.execute(
+            "SELECT 1 FROM results WHERE scenario_digest=? AND protocol=?"
+            " AND seed=? AND code_fingerprint=?",
+            (scenario_digest, protocol, int(seed), fp),
+        ).fetchone()
+        return row is not None
+
+    def keys(self) -> Iterator[tuple[str, str, int, str]]:
+        """Every stored cell address (digest, protocol, seed, fingerprint)."""
+        yield from self._conn.execute(
+            "SELECT scenario_digest, protocol, seed, code_fingerprint FROM results"
+            " ORDER BY scenario_digest, protocol, seed"
+        )
+
+    # -- maintenance -------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Row/fingerprint/byte totals -- surfaced by ``repro-mac sweep``."""
+        n_rows = self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+        n_fps = self._conn.execute(
+            "SELECT COUNT(DISTINCT code_fingerprint) FROM results"
+        ).fetchone()[0]
+        payload_bytes = (
+            self._conn.execute("SELECT COALESCE(SUM(LENGTH(payload)), 0) FROM results")
+            .fetchone()[0]
+        )
+        total_hits = self._conn.execute(
+            "SELECT COALESCE(SUM(hits), 0) FROM results"
+        ).fetchone()[0]
+        return {
+            "path": self.path,
+            "schema_version": self.SCHEMA_VERSION,
+            "n_results": n_rows,
+            "n_fingerprints": n_fps,
+            "payload_bytes": payload_bytes,
+            "total_hits": total_hits,
+        }
+
+    def prune(self, keep_fingerprint: str | None = None) -> int:
+        """Evict rows from other code fingerprints; returns rows deleted.
+
+        Stale rows are *correct* for the code that wrote them but dead
+        weight for the current build -- prune reclaims the space without
+        touching live cells.
+        """
+        fp = keep_fingerprint if keep_fingerprint is not None else code_fingerprint()
+        cur = self._conn.execute(
+            "DELETE FROM results WHERE code_fingerprint != ?", (fp,)
+        )
+        self._conn.commit()
+        return cur.rowcount
+
+    def vacuum(self) -> None:
+        """Compact the database file after eviction."""
+        self._conn.execute("VACUUM")
+        self._conn.commit()

@@ -82,9 +82,11 @@ class WorldCache:
 
     The sweep engine orders jobs so that all protocols of one
     ``(point, seed)`` cell are consecutive; a handful of entries is
-    therefore enough, and the cache evicts in insertion order (FIFO) once
-    *maxsize* is exceeded -- old cells never come back under that
-    ordering.
+    therefore enough.  Eviction is least-recently-used: a full cold grid
+    behaves exactly like FIFO (old cells never come back), but a
+    *resumed* campaign (``repro-mac sweep --store``) dispatches only the
+    missing cells, which can interleave partial cells non-consecutively
+    -- LRU keeps the still-warm worlds alive in that sparse pattern.
     """
 
     def __init__(self, maxsize: int = 4):
@@ -111,14 +113,18 @@ class WorldCache:
         only, never results.
         """
         skey = schedule_key(settings, seed)
-        cached = self._worlds.get(skey)
+        cached = self._worlds.pop(skey, None)
         if cached is not None:
+            # Reinsert at the back: dict order is the LRU order.
+            self._worlds[skey] = cached
             self.hits += 1
             return cached
         self.misses += 1
         tkey = topology_key(settings, seed)
-        topo = self._topologies.get(tkey)
-        if topo is None:
+        topo = self._topologies.pop(tkey, None)
+        if topo is not None:
+            self._topologies[tkey] = topo
+        else:
             positions = uniform_square(settings.n_nodes, seed=seed, side=settings.side)
             propagation = UnitDiskPropagation(
                 positions,

@@ -7,6 +7,7 @@ import pytest
 from repro.cli import (
     EXPERIMENTS,
     build_faults_parser,
+    build_gate_parser,
     build_parser,
     build_sweep_parser,
     build_trace_parser,
@@ -232,6 +233,105 @@ class TestSweepSubcommand:
         bench = json.loads((tmp_path / "BENCH_smoke.json").read_text())
         assert bench["kind"] == "sweep-bench"
         assert bench["grid"]["n_jobs"] == 2 * 2 * 2
+
+
+class TestStoreFlagAndGateSubcommand:
+    def test_sweep_parser_accepts_store(self):
+        args = build_sweep_parser().parse_args(["--store", "s.sqlite"])
+        assert args.store == "s.sqlite"
+        assert build_faults_parser().parse_args([]).store is None
+
+    def test_gate_parser_defaults(self):
+        args = build_gate_parser().parse_args(["--baseline", "b.json"])
+        assert args.baseline == "b.json"
+        assert args.store is None and args.jobs == 0
+        assert args.metric_tol == 0.0 and args.bench_tol == 0.25
+        assert not args.no_counters
+        assert args.name == "gate" and args.out == "results"
+
+    def test_gate_requires_baseline(self):
+        with pytest.raises(SystemExit):
+            build_gate_parser().parse_args([])
+
+    def test_sweep_store_then_gate_smoke(self, tmp_path, capsys):
+        """The CI store-smoke recipe end to end: sweep twice against one
+        store (second pass 100% served), then gate the second pass
+        against the first pass's results JSON."""
+        store = str(tmp_path / "store.sqlite")
+        argv = [
+            "sweep",
+            "--axis", "nodes",
+            "--values", "12,16",
+            "--protocols", "BMMM,LAMM",
+            "--seeds", "2",
+            "--jobs", "1",
+            "--horizon", "500",
+            "--name", "smoke",
+            "--out", str(tmp_path),
+            "--store", store,
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert f"[store {store}: 0 cells served, 8 computed]" in first
+
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert f"[store {store}: 8 cells served, 0 computed]" in second
+
+        bench = json.loads((tmp_path / "BENCH_smoke.json").read_text())
+        assert bench["store"] == {"path": store, "hits": 8, "misses": 0}
+        assert len(bench["code"]["code_fingerprint"]) == 64
+
+        code = main(
+            [
+                "gate",
+                "--baseline", str(tmp_path / "smoke.json"),
+                "--store", store,
+                "--jobs", "1",
+                "--name", "smokegate",
+                "--out", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        report = json.loads((tmp_path / "GATE_smokegate.json").read_text())
+        assert report["passed"] is True
+        assert report["execution"]["store_hits"] == 8
+        bench_check = next(
+            c for c in report["checks"] if c["id"] == "bench.slots_per_sec"
+        )
+        assert "served from store" in bench_check["detail"]
+
+    def test_gate_fails_on_tampered_baseline(self, tmp_path, capsys):
+        argv = [
+            "sweep",
+            "--axis", "nodes",
+            "--values", "12",
+            "--protocols", "BMMM",
+            "--seeds", "2",
+            "--jobs", "1",
+            "--horizon", "400",
+            "--name", "base",
+            "--out", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        baseline_path = tmp_path / "base.json"
+        payload = json.loads(baseline_path.read_text())
+        payload["points"][0]["metrics"]["BMMM"]["delivery_rate"] = 0.123456
+        baseline_path.write_text(json.dumps(payload))
+        code = main(
+            [
+                "gate",
+                "--baseline", str(baseline_path),
+                "--jobs", "1",
+                "--out", str(tmp_path),
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL point0.BMMM.delivery_rate" in out
 
 
 class TestFaultsSubcommand:

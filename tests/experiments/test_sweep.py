@@ -124,6 +124,20 @@ class TestWorldCache:
         assert again.generator.schedule == worlds[0].generator.schedule
         assert len(cache._worlds) <= 2
 
+    def test_eviction_is_least_recently_used(self):
+        """A resumed sparse grid revisits cells non-consecutively; touching
+        an entry must protect it from eviction (LRU, not FIFO)."""
+        cache = WorldCache(maxsize=2)
+        cache.world(SMALL, seed=0)
+        cache.world(SMALL, seed=1)
+        cache.world(SMALL, seed=0)  # refresh seed 0 -- FIFO would still drop it
+        cache.world(SMALL, seed=2)  # evicts seed 1, the actual LRU entry
+        misses_before = cache.misses
+        cache.world(SMALL, seed=0)
+        assert cache.misses == misses_before  # seed 0 survived
+        cache.world(SMALL, seed=1)
+        assert cache.misses == misses_before + 1  # seed 1 was evicted
+
     def test_validation(self):
         with pytest.raises(ValueError):
             WorldCache(maxsize=0)

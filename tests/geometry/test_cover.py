@@ -13,10 +13,8 @@ from hypothesis import given, settings, strategies as st
 
 from repro.geometry.cover import (
     cover_angle,
-    disk_cover_union,
     is_cover_set,
     is_disk_covered,
-    uncovered_points,
     update_uncovered,
 )
 
@@ -156,10 +154,21 @@ class TestIsDiskCovered:
         """Completeness on the boundary: a gap in the arc union exposes a
         boundary point outside every *neighboring* cover disk.  (Covers
         farther than R may still cover it -- the paper's test is
-        deliberately conservative there -- so restrict to neighbors.)"""
+        deliberately conservative there -- so restrict to neighbors.)
+
+        The membership check here is *exact* (strict ``> R``), unlike the
+        diagnostic ``uncovered_points`` oracle whose ``+1e-9`` tolerance
+        swallows the sub-tolerance gap a cover at distance ~1e-9 from
+        ``p`` leaves (the angle test correctly reports that gap)."""
         neigh = [q for q in covers if math.dist(p, q) <= R]
         if not is_disk_covered(p, neigh, R):
-            missing = uncovered_points(p, neigh, R, samples=256)
+            missing = [
+                i
+                for i in range(256)
+                for ang in [2.0 * math.pi * i / 256]
+                for x in [(p[0] + R * math.cos(ang), p[1] + R * math.sin(ang))]
+                if all(math.dist(x, q) > R for q in neigh)
+            ]
             assert missing, "angle test says uncovered but boundary fully covered"
 
 

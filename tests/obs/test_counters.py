@@ -1,6 +1,6 @@
 """Tests for the always-on counters (repro.obs.counters)."""
 
-from repro.obs.counters import Counters, merge_counter_dicts
+from repro.obs.counters import Counters, diff_counters, merge_counter_dicts
 
 
 class TestCounters:
@@ -58,3 +58,16 @@ class TestMergeCounterDicts:
 
     def test_empty(self):
         assert merge_counter_dicts([]) == {}
+
+
+class TestDiffCounters:
+    def test_identical_is_empty(self):
+        assert diff_counters({"a": 1, "b": 2}, {"b": 2, "a": 1}) == {}
+
+    def test_reports_changed_values(self):
+        drift = diff_counters({"a": 1, "b": 2}, {"a": 1, "b": 5})
+        assert drift == {"b": (2, 5)}
+
+    def test_missing_keys_count_as_zero(self):
+        drift = diff_counters({"only_base": 3}, {"only_fresh": 4})
+        assert drift == {"only_base": (3, 0), "only_fresh": (0, 4)}

@@ -6,6 +6,7 @@ import pytest
 
 from repro import __version__
 from repro.experiments.config import SimulationSettings
+from repro.faults.plan import FaultPlan, GilbertElliott, NodeChurn
 from repro.obs.manifest import RunManifest, load_manifest, settings_to_dict
 
 
@@ -22,6 +23,34 @@ class TestSettingsToDict:
     def test_rejects_other_types(self):
         with pytest.raises(TypeError):
             settings_to_dict(42)
+
+    def test_fault_plan_serializes_to_numbers(self):
+        """The fix for the silent-provenance-drop bug: the nested fault
+        plan must come out as plain JSON numbers, never a repr string."""
+        s = SimulationSettings(
+            faults=FaultPlan(
+                burst=GilbertElliott(p_good_bad=0.05, p_bad_good=0.25),
+                churn=NodeChurn(crash_rate=0.001, mean_downtime=50.0),
+                location_sigma=0.02,
+                receiver_give_up=3,
+            )
+        )
+        d = settings_to_dict(s)
+        assert d["faults"]["burst"]["p_good_bad"] == 0.05
+        assert d["faults"]["churn"]["mean_downtime"] == 50.0
+        assert d["faults"]["location_sigma"] == 0.02
+        assert d["faults"]["receiver_give_up"] == 3
+        json.dumps(d, allow_nan=False)  # genuinely JSON-native throughout
+
+    def test_unserializable_field_raises_with_path(self):
+        """No silent stringification: an unknown object in the payload is
+        a TypeError naming the offending field, not a str() in disguise."""
+        with pytest.raises(TypeError, match=r"settings\.faults\.weird"):
+            settings_to_dict({"faults": {"weird": object()}})
+
+    def test_non_string_dict_key_rejected(self):
+        with pytest.raises(TypeError, match="not a string"):
+            settings_to_dict({"table": {1: "x"}})
 
 
 class TestRunManifest:

@@ -1,0 +1,153 @@
+"""ResultStore behaviour: roundtrips, misses, persistence, maintenance.
+
+These tests exercise the SQLite layer in isolation with small synthetic
+payloads; the bit-identity of *real* sweep cells through the store is
+pinned separately in ``tests/experiments/test_sweep_store.py``.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.store.db import ResultStore, StoreError
+
+DIG = "d" * 64
+FP = "f" * 64
+OTHER_FP = "0" * 64
+
+
+@dataclasses.dataclass
+class _Payload:
+    """Stand-in for a JobResult: nested, picklable, equality-comparable."""
+
+    label: str
+    values: tuple[float, ...]
+    counters: dict[str, int]
+
+
+def _payload(label="cell", values=(1.0, 2.5), rak_polls=9):
+    return _Payload(label=label, values=values, counters={"rak_polls": rak_polls})
+
+
+class TestRoundtrip:
+    def test_put_get(self, tmp_path):
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            store.put(DIG, "BMMM", 0, _payload(), fingerprint=FP)
+            got = store.get(DIG, "BMMM", 0, fingerprint=FP)
+        assert got == _payload()
+
+    def test_miss_returns_none(self, tmp_path):
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            assert store.get(DIG, "BMMM", 0, fingerprint=FP) is None
+
+    def test_each_key_component_separates_cells(self, tmp_path):
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            store.put(DIG, "BMMM", 0, _payload("a"), fingerprint=FP)
+            store.put(DIG, "BMMM", 1, _payload("b"), fingerprint=FP)
+            store.put(DIG, "LAMM", 0, _payload("c"), fingerprint=FP)
+            store.put("e" * 64, "BMMM", 0, _payload("d"), fingerprint=FP)
+            assert store.get(DIG, "BMMM", 0, fingerprint=FP).label == "a"
+            assert store.get(DIG, "BMMM", 1, fingerprint=FP).label == "b"
+            assert store.get(DIG, "LAMM", 0, fingerprint=FP).label == "c"
+            assert store.get("e" * 64, "BMMM", 0, fingerprint=FP).label == "d"
+
+    def test_stale_fingerprint_is_a_miss_not_an_error(self, tmp_path):
+        """Code changed => the old row must never be served."""
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            store.put(DIG, "BMMM", 0, _payload(), fingerprint=OTHER_FP)
+            assert store.get(DIG, "BMMM", 0, fingerprint=FP) is None
+            assert not store.contains(DIG, "BMMM", 0, fingerprint=FP)
+            assert store.contains(DIG, "BMMM", 0, fingerprint=OTHER_FP)
+
+    def test_put_overwrites_same_key(self, tmp_path):
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            store.put(DIG, "BMMM", 0, _payload(rak_polls=1), fingerprint=FP)
+            store.put(DIG, "BMMM", 0, _payload(rak_polls=2), fingerprint=FP)
+            assert store.get(DIG, "BMMM", 0, fingerprint=FP).counters["rak_polls"] == 2
+
+    def test_memory_store(self):
+        with ResultStore(":memory:") as store:
+            store.put(DIG, "BMMM", 0, _payload(), fingerprint=FP)
+            assert store.get(DIG, "BMMM", 0, fingerprint=FP) == _payload()
+
+
+class TestPersistence:
+    def test_rows_survive_reopen(self, tmp_path):
+        """The whole resumability story: every put is committed, so a
+        killed process loses nothing already stored."""
+        path = tmp_path / "campaign.sqlite"
+        with ResultStore(path) as store:
+            store.put(DIG, "BMMM", 0, _payload("survivor"), fingerprint=FP)
+        with ResultStore(path) as store:
+            assert store.get(DIG, "BMMM", 0, fingerprint=FP).label == "survivor"
+
+    def test_parent_directory_created(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "s.sqlite"
+        with ResultStore(path) as store:
+            store.put(DIG, "BMMM", 0, _payload(), fingerprint=FP)
+        assert path.is_file()
+
+    def test_keys_sorted_and_complete(self, tmp_path):
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            store.put(DIG, "LAMM", 1, _payload(), fingerprint=FP)
+            store.put(DIG, "BMMM", 0, _payload(), fingerprint=FP)
+            assert list(store.keys()) == [
+                (DIG, "BMMM", 0, FP),
+                (DIG, "LAMM", 1, FP),
+            ]
+
+
+class TestSchema:
+    def test_newer_schema_fails_loudly(self, tmp_path):
+        path = tmp_path / "future.sqlite"
+        with ResultStore(path) as store:
+            store._conn.execute(
+                "UPDATE meta SET value='99' WHERE key='schema_version'"
+            )
+            store._conn.commit()
+        with pytest.raises(StoreError, match="v99 is newer"):
+            ResultStore(path)
+
+    def test_fresh_store_records_current_version(self, tmp_path):
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            row = store._conn.execute(
+                "SELECT value FROM meta WHERE key='schema_version'"
+            ).fetchone()
+            assert int(row[0]) == ResultStore.SCHEMA_VERSION
+
+
+class TestMaintenance:
+    def test_stats(self, tmp_path):
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            assert store.stats()["n_results"] == 0
+            store.put(DIG, "BMMM", 0, _payload(), fingerprint=FP)
+            store.put(DIG, "BMMM", 1, _payload(), fingerprint=OTHER_FP)
+            store.get(DIG, "BMMM", 0, fingerprint=FP)
+            store.get(DIG, "BMMM", 0, fingerprint=FP)
+            st = store.stats()
+            assert st["n_results"] == 2
+            assert st["n_fingerprints"] == 2
+            assert st["total_hits"] == 2
+            assert st["payload_bytes"] > 0
+
+    def test_prune_keeps_only_given_fingerprint(self, tmp_path):
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            store.put(DIG, "BMMM", 0, _payload(), fingerprint=FP)
+            store.put(DIG, "BMMM", 1, _payload(), fingerprint=OTHER_FP)
+            store.put(DIG, "LAMM", 2, _payload(), fingerprint=OTHER_FP)
+            assert store.prune(keep_fingerprint=FP) == 2
+            store.vacuum()
+            assert [k[3] for k in store.keys()] == [FP]
+
+    def test_hit_bookkeeping(self, tmp_path):
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            store.put(DIG, "BMMM", 0, _payload(), fingerprint=FP)
+            row = store._conn.execute(
+                "SELECT hits, last_hit_at FROM results"
+            ).fetchone()
+            assert row == (0, None)
+            store.get(DIG, "BMMM", 0, fingerprint=FP)
+            hits, last_hit = store._conn.execute(
+                "SELECT hits, last_hit_at FROM results"
+            ).fetchone()
+            assert hits == 1 and last_hit is not None
