@@ -1,0 +1,44 @@
+"""Substrate micro-benchmarks (engineering benchmark, not a paper figure).
+
+pytest-benchmark wrapper around :mod:`repro.experiments.benchkernel`: the
+same cases `repro-mac bench-kernel` records in ``BENCH_kernel.json``, so a
+perf regression caught locally by pytest and one caught in CI by the
+bench record point at the same fast path (kernel dispatch, timeout
+pooling, idle-slot skipping, vectorized reception).
+"""
+
+import pytest
+
+from repro.experiments.benchkernel import (
+    NETWORK_CASES,
+    bench_network_case,
+    bench_sleep_churn,
+    bench_timeout_churn,
+)
+
+CHURN_EVENTS = 100_000
+
+
+def test_timeout_churn(benchmark):
+    """Raw kernel dispatch: freshly allocated Timeout per event."""
+    result = benchmark.pedantic(
+        lambda: bench_timeout_churn(CHURN_EVENTS), rounds=3, iterations=1
+    )
+    assert result["events"] == CHURN_EVENTS
+
+
+def test_sleep_churn(benchmark):
+    """Pooled dispatch: `env.sleep` recycling retired timeouts."""
+    result = benchmark.pedantic(
+        lambda: bench_sleep_churn(CHURN_EVENTS), rounds=3, iterations=1
+    )
+    assert result["events"] == CHURN_EVENTS
+
+
+@pytest.mark.parametrize("case", sorted(NETWORK_CASES))
+def test_network_case(benchmark, case):
+    """Idle / sparse / dense scenarios -- one fast path dominates each."""
+    result = benchmark.pedantic(lambda: bench_network_case(case), rounds=3, iterations=1)
+    assert result["sim_slots"] == NETWORK_CASES[case]["horizon"]
+    if NETWORK_CASES[case]["message_rate"] > 0:
+        assert result["n_requests"] > 0

@@ -36,6 +36,46 @@ def test_idle_network_is_cheap(benchmark):
     assert not raw.requests
 
 
+def test_sparse_traffic_run(benchmark):
+    """Idle-heavy workload: long DIFS/backoff stretches between frames.
+
+    This is the idle-slot skipper's home turf -- throughput here tracks
+    how much simulated time the contention fast path can burn per event.
+    """
+    settings = SimulationSettings(n_nodes=60, horizon=20_000, message_rate=0.0001)
+
+    def run():
+        return run_raw(BmmmMac, settings, seed=0)
+
+    raw = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert raw.requests
+
+
+def test_idle_heavy_contention_run(benchmark):
+    """The headline idle-slot-skipping workload: CW pinned to the 802.11
+    maximum (1024), very sparse traffic.
+
+    Each sender's per-receiver rounds run back-to-back *solo* contention
+    phases averaging ~512 provably idle backoff slots.  The seed machine
+    stepped one kernel event per slot here; the fast path collapses each
+    phase to a handful of events (>= 3x slots/sec, see EXPERIMENTS.md).
+    """
+    from repro.mac.contention import ContentionParams
+
+    settings = SimulationSettings(
+        n_nodes=50,
+        horizon=200_000,
+        message_rate=0.00001,
+        contention=ContentionParams(cw_min=1024, cw_max=1024),
+    )
+
+    def run():
+        return run_raw(BmmmMac, settings, seed=0)
+
+    raw = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert raw.requests
+
+
 def test_dense_traffic_run(benchmark):
     """The heavy corner of the sweeps (4x rate)."""
     settings = SimulationSettings(n_nodes=100, horizon=2000, message_rate=0.002)

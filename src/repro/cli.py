@@ -11,6 +11,7 @@ Examples::
     repro-mac sweep --axis rate --seeds 20 --store results/store.sqlite
     repro-mac faults --axis burst --values 0,4,16,64 --seeds 3
     repro-mac gate --baseline results/sweep.json --store results/store.sqlite
+    repro-mac bench-kernel --churn-events 100000 --out results/
     python -m repro figure5
 
 Every ``--out`` invocation also writes a ``<name>.manifest.json``
@@ -58,6 +59,7 @@ __all__ = [
     "build_sweep_parser",
     "build_faults_parser",
     "build_gate_parser",
+    "build_bench_kernel_parser",
 ]
 
 #: Experiments that run simulations and accept a ``seeds`` argument.
@@ -592,6 +594,58 @@ def _gate_main(argv: list[str]) -> int:
 
 
 # --------------------------------------------------------------------------
+# `repro-mac bench-kernel` -- substrate micro-benchmarks (BENCH_kernel.json)
+# --------------------------------------------------------------------------
+
+
+def build_bench_kernel_parser() -> argparse.ArgumentParser:
+    """Argument parser for the ``repro-mac bench-kernel`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mac bench-kernel",
+        description=(
+            "Micro-benchmark the simulation substrate, one fast path per "
+            "case (kernel timeout churn, pooled sleep churn, idle / sparse "
+            "/ dense network runs) and write a provenance-stamped "
+            "BENCH_<name>.json record (see docs/simulator.md)."
+        ),
+    )
+    parser.add_argument(
+        "--churn-events", type=int, default=200_000, metavar="N",
+        help="events dispatched by the kernel churn cases (default 200000)",
+    )
+    parser.add_argument(
+        "--protocol", default="BMMM", metavar="NAME",
+        help="protocol for the network cases (default BMMM)",
+    )
+    parser.add_argument(
+        "--name", default="kernel", metavar="NAME",
+        help="basename for the BENCH_<name>.json record (default: kernel)",
+    )
+    parser.add_argument(
+        "--out", default="results", metavar="DIR",
+        help="output directory (default results/)",
+    )
+    return parser
+
+
+def _bench_kernel_main(argv: list[str]) -> int:
+    from repro.experiments.benchkernel import (
+        format_kernel_bench,
+        kernel_bench_record,
+        save_kernel_bench,
+    )
+
+    args = build_bench_kernel_parser().parse_args(argv)
+    record = kernel_bench_record(
+        args.name, churn_events=args.churn_events, protocol=args.protocol
+    )
+    print(format_kernel_bench(record))
+    path = save_kernel_bench(record, args.out)
+    print(f"[bench {path}]")
+    return 0
+
+
+# --------------------------------------------------------------------------
 # `repro-mac trace` -- record one scenario's JSONL trace + lane diagram
 # --------------------------------------------------------------------------
 
@@ -704,6 +758,8 @@ def main(argv: list[str] | None = None) -> int:
         return _faults_main(argv[1:])
     if argv and argv[0] == "gate":
         return _gate_main(argv[1:])
+    if argv and argv[0] == "bench-kernel":
+        return _bench_kernel_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "report":
         from repro.experiments.fullreport import generate_report

@@ -1,0 +1,201 @@
+"""Kernel and fast-path micro-benchmarks behind ``repro-mac bench-kernel``.
+
+The sweep-level ``BENCH_<name>.json`` records end-to-end campaign
+throughput; this module pins the *substrate* underneath it, one fast path
+per case, so a regression can be attributed to the layer that caused it:
+
+``timeout_churn``
+    Raw event dispatch through freshly allocated :class:`Timeout` objects
+    -- the kernel's unpooled slow path (events/sec).
+``sleep_churn``
+    The same churn through :meth:`Environment.sleep`, which recycles
+    retired timeouts from a bounded pool -- the allocation-diet fast path
+    (events/sec).  The gap between the two is the diet's win.
+``idle_network``
+    A zero-traffic network: idle-slot skipping plus the event-driven
+    kernel must make untrafficked simulated time almost free (slots/sec).
+``sparse_network``
+    A lightly loaded network -- long idle DIFS/backoff stretches between
+    frames; the idle-slot skipper's bread-and-butter case (slots/sec).
+``dense_network``
+    The reception-heavy corner (4x the default rate): dominated by the
+    channel's overlap scans and capture ranking, i.e. the vectorized
+    reception tables (slots/sec).
+``contention_heavy``
+    The headline idle-slot-skipping case: sparse traffic contended with
+    the 802.11 maximum window (CW = 1024), so each of a sender's
+    per-receiver rounds burns hundreds of provably idle backoff slots.
+    The pre-fast-path machine stepped the kernel once per slot here; the
+    fast path collapses each solo phase to a handful of events.
+
+Every record is stamped with the git commit and the simulation-code
+fingerprint (like :func:`repro.experiments.sweep.bench_record`) so the
+bench trajectory stays attributable across PRs.  The results are wall
+-clock measurements: meaningful relative to a baseline on the same
+machine, not across machines.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable
+
+from repro.experiments.config import SimulationSettings, protocol_class
+from repro.experiments.runner import run_raw
+from repro.mac.contention import ContentionParams
+from repro.sim.kernel import Environment
+from repro.store.digests import code_fingerprint, git_commit
+
+__all__ = [
+    "bench_timeout_churn",
+    "bench_sleep_churn",
+    "bench_network_case",
+    "kernel_bench_record",
+    "save_kernel_bench",
+    "format_kernel_bench",
+    "NETWORK_CASES",
+]
+
+
+def _timed(fn: Callable[[], object]) -> tuple[object, float]:
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def bench_timeout_churn(n_events: int = 200_000) -> dict:
+    """Dispatch *n_events* freshly allocated timeouts through one process."""
+
+    def run() -> float:
+        env = Environment()
+
+        def proc():
+            for _ in range(n_events):
+                yield env.timeout(1)
+
+        env.process(proc())
+        env.run()
+        return env.now
+
+    _, wall = _timed(run)
+    return {
+        "events": n_events,
+        "wall_clock_s": wall,
+        "events_per_sec": n_events / wall if wall > 0 else None,
+    }
+
+
+def bench_sleep_churn(n_events: int = 200_000) -> dict:
+    """Dispatch *n_events* pooled ``sleep`` timeouts through one process."""
+
+    def run() -> float:
+        env = Environment()
+
+        def proc():
+            for _ in range(n_events):
+                yield env.sleep(1)
+
+        env.process(proc())
+        env.run()
+        return env.now
+
+    _, wall = _timed(run)
+    return {
+        "events": n_events,
+        "wall_clock_s": wall,
+        "events_per_sec": n_events / wall if wall > 0 else None,
+    }
+
+
+#: The full-simulation cases: name -> settings overrides (seed 0, BMMM).
+#: A ``"cw"`` key is not a :class:`SimulationSettings` field -- it expands
+#: to ``contention=ContentionParams(cw_min=cw, cw_max=cw)`` so the case
+#: table stays JSON-serializable for the bench record's settings echo.
+NETWORK_CASES: dict[str, dict] = {
+    "idle_network": {"n_nodes": 100, "horizon": 50_000, "message_rate": 0.0},
+    "sparse_network": {"n_nodes": 60, "horizon": 20_000, "message_rate": 0.0001},
+    "dense_network": {"n_nodes": 100, "horizon": 2_000, "message_rate": 0.002},
+    "contention_heavy": {
+        "n_nodes": 50,
+        "horizon": 200_000,
+        "message_rate": 0.00001,
+        "cw": 1024,
+    },
+}
+
+
+def bench_network_case(case: str, *, protocol: str = "BMMM", seed: int = 0) -> dict:
+    """Run one :data:`NETWORK_CASES` scenario; report simulated slots/sec."""
+    overrides = NETWORK_CASES[case]
+    kwargs_settings = dict(overrides)
+    cw = kwargs_settings.pop("cw", None)
+    if cw is not None:
+        kwargs_settings["contention"] = ContentionParams(cw_min=cw, cw_max=cw)
+    settings = SimulationSettings(**kwargs_settings)
+    mac_cls, kwargs = protocol_class(protocol)
+    raw, wall = _timed(lambda: run_raw(mac_cls, settings, seed, kwargs))
+    # slots/sec rates the simulator proper (the RunManifest convention):
+    # world building and schedule pre-generation are setup, not stepping.
+    simulate_s = raw.timings.get("simulate", 0.0)
+    return {
+        "protocol": protocol,
+        "seed": seed,
+        "settings": overrides,
+        "n_requests": len(raw.requests),
+        "sim_slots": float(settings.horizon),
+        "wall_clock_s": wall,
+        "simulate_s": simulate_s,
+        "slots_per_sec": settings.horizon / simulate_s if simulate_s > 0 else None,
+    }
+
+
+def kernel_bench_record(
+    name: str = "kernel", *, churn_events: int = 200_000, protocol: str = "BMMM"
+) -> dict:
+    """The ``BENCH_kernel.json`` payload: every case, provenance-stamped."""
+    cases: dict[str, dict] = {
+        "timeout_churn": bench_timeout_churn(churn_events),
+        "sleep_churn": bench_sleep_churn(churn_events),
+    }
+    for case in NETWORK_CASES:
+        cases[case] = bench_network_case(case, protocol=protocol)
+    return {
+        "name": name,
+        "kind": "kernel-bench",
+        "code": {
+            "git_commit": git_commit(),
+            "code_fingerprint": code_fingerprint(),
+        },
+        "churn_events": churn_events,
+        "protocol": protocol,
+        "wall_clock_s": sum(c["wall_clock_s"] for c in cases.values()),
+        "cases": cases,
+    }
+
+
+def save_kernel_bench(record: dict, out_dir: str | Path) -> Path:
+    """Write ``BENCH_<name>.json`` under *out_dir*; returns the path."""
+    path = Path(out_dir) / f"BENCH_{record['name']}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(record, indent=2, default=str))
+    return path
+
+
+def format_kernel_bench(record: dict) -> str:
+    """Human-readable one-line-per-case summary of a bench record."""
+    lines = [f"kernel bench '{record['name']}' ({record['wall_clock_s']:.2f}s total)"]
+    for case, data in record["cases"].items():
+        if "events_per_sec" in data:
+            rate = data["events_per_sec"] or 0.0
+            lines.append(
+                f"  {case:<16} {rate:>14,.0f} events/s  ({data['events']:,} events)"
+            )
+        else:
+            rate = data["slots_per_sec"] or 0.0
+            lines.append(
+                f"  {case:<16} {rate:>14,.0f} slots/s   "
+                f"({data['n_requests']} requests, horizon {data['sim_slots']:,.0f})"
+            )
+    return "\n".join(lines)

@@ -21,6 +21,32 @@ boundary.
 
 The medium is considered busy when either physical carrier sense
 (:attr:`Radio.busy_until`) or the NAV (yield state) says so.
+
+Idle-slot skipping (the event-driven fast path)
+-----------------------------------------------
+A naive slotted implementation wakes every contending station once per
+idle slot, so wall-clock scales with *simulated slots*; the fast path
+makes it scale with *events* instead.  The key observation: between two
+scheduler events nothing in the simulated world can change -- a
+transmission, a NAV update or a new arrival all happen inside event
+callbacks -- so every mid-slot carrier-sense sample strictly before the
+kernel's next event time (:meth:`Environment.peek`) is *guaranteed* to
+read the same idle medium the station sees right now.  The contender
+therefore burns all those samples (DIFS slots, then backoff decrements,
+then the final pre-transmit check) in a single pooled timeout.
+
+Whenever another event sits inside the skip window -- a frame delivery,
+another contender's wake, a traffic arrival -- the skip is truncated to
+the samples provably idle and the machine re-evaluates at the next
+sample, which degrades gracefully to exact per-slot stepping around
+busy transitions and under lock-step contention.  The RNG discipline is
+untouched (one backoff draw per phase; in ``resume_backoff=False`` mode
+one redraw per busy sample, exactly as before), and busy samples still
+go through :meth:`Contender._next_sample_point`, so transmit times,
+backoff residues and draw order are bit-identical to the reference
+per-slot machine.  This is pinned by a Hypothesis side-by-side property
+(``tests/mac/test_contention_fastpath.py``) and by the repo-wide
+``repro-mac gate`` regression baseline.
 """
 
 from __future__ import annotations
@@ -125,6 +151,7 @@ class Contender:
         self.phases_executed += 1
         env = self.env
         params = self.params
+        difs_slots = params.difs_slots
         node = self.radio.node_id
         self.radio.channel.counters.inc("contention_phases", node=node)
         obs = env.obs
@@ -132,7 +159,7 @@ class Contender:
 
         # Align to the next mid-slot sampling point.
         frac = env.now - math.floor(env.now)
-        yield env.timeout((0.5 - frac) % 1.0)
+        yield env.sleep((0.5 - frac) % 1.0)
 
         backoff = self.rng.randrange(params.window(attempt))
         if obs.active:
@@ -143,49 +170,69 @@ class Contender:
                 window=params.window(attempt),
                 backoff=backoff,
             )
+        # The DIFS run, the backoff countdown and the final pre-transmit
+        # check are one sequence of mid-slot samples; ``idle_run`` tracks
+        # progress through the DIFS prefix.  Each loop iteration handles
+        # one sample *or* one guaranteed-idle batch of samples (see the
+        # module docstring); the busy branch is byte-for-byte the
+        # reference machine's (reset DIFS, redraw when not resuming, skip
+        # over the known-busy span).
+        idle_run = 0
         while True:
-            # -- DIFS: require `difs_slots` consecutive idle slots ---------
-            idle_run = 0
-            while idle_run < params.difs_slots:
-                if self._slot_was_busy():
-                    idle_run = 0
-                    if not params.resume_backoff:
-                        backoff = self.rng.randrange(params.window(attempt))
-                        if obs.active:
-                            obs.emit(
-                                "backoff",
-                                node=node,
-                                attempt=attempt,
-                                window=params.window(attempt),
-                                backoff=backoff,
-                            )
-                    yield env.timeout(self._next_sample_point())
-                else:
-                    idle_run += 1
-                    yield env.timeout(1.0)
-
-            # -- backoff countdown, frozen by activity ---------------------
-            frozen = False
-            while backoff > 0:
-                if self._slot_was_busy():
-                    frozen = True
-                    break
-                backoff -= 1
-                yield env.timeout(1.0)
-            if frozen:
-                continue
-
             if self._slot_was_busy():
-                # Counter reached zero during a busy slot: defer.
+                idle_run = 0
+                if not params.resume_backoff:
+                    backoff = self.rng.randrange(params.window(attempt))
+                    if obs.active:
+                        obs.emit(
+                            "backoff",
+                            node=node,
+                            attempt=attempt,
+                            window=params.window(attempt),
+                            backoff=backoff,
+                        )
+                yield env.sleep(self._next_sample_point())
                 continue
 
-            # Transmit at the next slot boundary (0.5 slots away).
-            yield env.timeout(0.5)
-            if obs.active:
-                obs.emit(
-                    "contention_won",
-                    node=node,
-                    attempt=attempt,
-                    waited=env.now - started,
-                )
-            return
+            # Idle samples still required before the station may transmit:
+            # the rest of the DIFS run plus the whole remaining backoff.
+            needed = (difs_slots - idle_run) + backoff
+            if needed == 0:
+                # Final check passed: transmit at the next slot boundary.
+                yield env.sleep(0.5)
+                break
+
+            # Samples guaranteed idle from here: nothing can start a
+            # transmission or set a NAV before the next scheduled event,
+            # so every sample at now, now+1, ... strictly below peek()
+            # reads the medium exactly as this (idle) one did.  The
+            # current sample is always safe -- it just happened.
+            horizon = env.peek()
+            span = horizon - env.now
+            if span > needed:
+                # All remaining samples *and* the final pre-transmit check
+                # fall inside the quiet window: one timeout to the slot
+                # boundary wins the phase outright.
+                yield env.sleep(needed + 0.5)
+                break
+
+            # Consume the provably idle prefix (>= 1 sample) in one jump,
+            # then re-evaluate at the first sample an event could touch.
+            guaranteed = math.ceil(span) if span > 1.0 else 1
+            batch = needed if needed < guaranteed else guaranteed
+            difs_part = difs_slots - idle_run
+            if batch < difs_part:
+                idle_run += batch
+            else:
+                idle_run = difs_slots
+                backoff -= batch - difs_part
+            yield env.sleep(float(batch))
+
+        if obs.active:
+            obs.emit(
+                "contention_won",
+                node=node,
+                attempt=attempt,
+                waited=env.now - started,
+            )
+        return

@@ -87,6 +87,44 @@ class UnitDiskPropagation:
             self.interferers = neighbor_sets(
                 self.positions, self.radius * self.interference_factor
             )
+        self._build_fast_tables()
+
+    def _build_fast_tables(self) -> None:
+        """Precompute the reception fast-path tables.
+
+        * ``power_rows`` -- the full ``d**-eta`` received-power table as
+          nested plain-Python lists (``inf`` for co-located nodes),
+          computed once per topology instead of per colliding frame.
+          Each entry is produced by *scalar* ``pow``: numpy's vectorized
+          ``ndarray ** -eta`` takes a SIMD code path whose results can
+          differ from libm ``pow`` in the last ulp, which would silently
+          shift capture verdicts relative to the pre-fast-path scalar
+          implementation -- scalar ``float ** float`` is bit-identical to
+          the old per-call ``np.float64 ** float`` (both hit libm);
+        * ``rx_matrix`` -- the same table as an ndarray, for vectorized
+          consumers;
+        * ``neighbor_lists`` / ``interferer_lists`` -- the per-sender
+          neighbor ids as lists, in the *same iteration order* as the
+          frozensets (reception order determines channel RNG draw order,
+          so the order must not change).
+
+        These tables ride along whenever the propagation object is shared
+        -- notably through :class:`repro.workload.cache.WorldCache`, which
+        caches this object per (settings, seed), so a whole sweep cell
+        pays for them once.
+        """
+        inf = float("inf")
+        neg_eta = -self.eta
+        self.power_rows: list[list[float]] = [
+            [(inf if d == 0.0 else d**neg_eta) for d in row]
+            for row in self.distances.tolist()
+        ]
+        self.rx_matrix = np.asarray(self.power_rows)
+        self.neighbor_lists: list[list[int]] = [list(s) for s in self.neighbors]
+        if self.interferers is self.neighbors:
+            self.interferer_lists = self.neighbor_lists
+        else:
+            self.interferer_lists = [list(s) for s in self.interferers]
 
     @property
     def n_nodes(self) -> int:
@@ -116,6 +154,7 @@ class UnitDiskPropagation:
             self.interferers = neighbor_sets(
                 positions, self.radius * self.interference_factor
             )
+        self._build_fast_tables()
 
     def are_neighbors(self, u: int, v: int) -> bool:
         """True iff ``v`` hears ``u`` (and vice versa; the model is symmetric)."""
@@ -124,13 +163,11 @@ class UnitDiskPropagation:
     def rx_power(self, sender: int, receiver: int) -> float:
         """Relative received power of ``sender``'s signal at ``receiver``.
 
-        Co-located nodes (distance 0) get infinite power, which correctly
-        dominates any capture comparison.
+        Served from the precomputed ``rx_matrix``.  Co-located nodes
+        (distance 0) get infinite power, which correctly dominates any
+        capture comparison.
         """
-        d = self.distances[sender, receiver]
-        if d == 0.0:
-            return float("inf")
-        return d**-self.eta
+        return float(self.rx_matrix[sender, receiver])
 
     def average_degree(self) -> float:
         """Mean neighbor count -- the x-axis of Figures 6(a)/9(a)/10(a)."""

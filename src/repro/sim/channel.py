@@ -45,10 +45,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
     from repro.faults.inject import FaultInjector
 
-__all__ = ["Transmission", "Channel", "ChannelStats"]
+__all__ = ["Transmission", "Channel", "ChannelStats", "PRUNE_MIN_LEN"]
+
+#: Overlap-scan lists shorter than this are left unpruned: scanning a
+#: handful of provably-stale entries is cheaper than compacting the list
+#: on every transmit (satellite of the event-driven fast-path PR).
+PRUNE_MIN_LEN = 8
+
+_INF = float("inf")
 
 
-@dataclass
+@dataclass(slots=True)
 class Transmission:
     """One frame in flight."""
 
@@ -56,14 +63,31 @@ class Transmission:
     sender: int
     start: float
     end: float
+    #: Counter key cached once per transmission instead of being chased
+    #: through frame.ftype at every receiver (the reception hot path).
+    dkey: str = field(init=False, repr=False, compare=False)
 
     def __post_init__(self):
-        # Counter key cached once per transmission instead of being chased
-        # through frame.ftype at every receiver (the reception hot path).
         self.dkey = self.frame.ftype.delivered_key
 
     def overlaps(self, other: "Transmission") -> bool:
         return self.start < other.end and other.start < self.end
+
+
+def _compact(txs: "list[Transmission]", horizon: float) -> float:
+    """Single-pass in-place removal of entries ending at or before
+    *horizon*; returns the smallest end time left (``inf`` when empty)."""
+    write = 0
+    new_min = _INF
+    for t in txs:
+        end = t.end
+        if end > horizon:
+            txs[write] = t
+            write += 1
+            if end < new_min:
+                new_min = end
+    del txs[write:]
+    return new_min
 
 
 @dataclass
@@ -155,8 +179,13 @@ class Channel:
         self.record_transmissions = record_transmissions
         self.tx_log: list[Transmission] = []
         # Frames can in principle be longer than DATA_SLOTS if a user defines
-        # new types; track the longest airtime seen so pruning stays safe.
+        # new types; track the longest airtime among frames *still in
+        # flight* (a multiset keyed by airtime) so the prune horizon
+        # tightens again once a long frame lands, instead of ratcheting
+        # wider for the rest of the run.  Floor of 1.0 keeps the horizon
+        # strictly behind ``now`` even on a silent channel.
         self._max_airtime = 1.0
+        self._airtime_counts: dict[float, int] = {}
 
     # -- attachment -----------------------------------------------------------
 
@@ -234,8 +263,13 @@ class Channel:
                 )
             return self.env.timeout(frame.airtime, value=None, priority=PRIORITY_DELIVERY)
         now = self.env.now
-        tx = Transmission(frame, radio.node_id, now, now + frame.airtime)
-        self._max_airtime = max(self._max_airtime, frame.airtime)
+        airtime = frame.airtime
+        end = now + airtime
+        tx = Transmission(frame, radio.node_id, now, end)
+        counts = self._airtime_counts
+        counts[airtime] = counts.get(airtime, 0) + 1
+        if airtime > self._max_airtime:
+            self._max_airtime = airtime
         self.stats.note_sent(frame)
         # Per-node attribution only; the run-wide ``frames_sent.*`` totals
         # are derived from ``stats`` in finalize_counters() to keep this
@@ -259,24 +293,40 @@ class Channel:
                 payload["group"] = sorted(frame.group)
             obs.emit("frame_tx", node=radio.node_id, **payload)
 
-        self._prune(radio.own_tx)
-        radio.own_tx.append(tx)
-        radio.busy_until = max(radio.busy_until, tx.end)
+        # Overlap-list maintenance.  Each list carries a min-end watermark
+        # on its radio, so a prune pass only runs when the list is long
+        # enough to matter *and* provably contains at least one stale
+        # entry -- otherwise maintenance is append + two compares.
+        horizon = now - self._max_airtime
+        own = radio.own_tx
+        if len(own) >= PRUNE_MIN_LEN and radio.own_min_end <= horizon:
+            radio.own_min_end = _compact(own, horizon)
+        own.append(tx)
+        if end < radio.own_min_end:
+            radio.own_min_end = end
+        if end > radio.busy_until:
+            radio.busy_until = end
         radio._notify_activity(tx)
 
         # Audibility (carrier sense + interference) extends to the
         # interference range; decodability (see _finish) only to the
         # transmission radius.  They coincide in the paper's model.
-        for nid in self.propagation.interferers[radio.node_id]:
-            r = self.radios.get(nid)
+        radios = self.radios
+        for nid in self.propagation.interferer_lists[radio.node_id]:
+            r = radios.get(nid)
             if r is None:
                 continue
-            self._prune(r.audible)
-            r.audible.append(tx)
-            r.busy_until = max(r.busy_until, tx.end)
+            audible = r.audible
+            if len(audible) >= PRUNE_MIN_LEN and r.audible_min_end <= horizon:
+                r.audible_min_end = _compact(audible, horizon)
+            audible.append(tx)
+            if end < r.audible_min_end:
+                r.audible_min_end = end
+            if end > r.busy_until:
+                r.busy_until = end
             r._notify_activity(tx)
 
-        done = self.env.timeout(frame.airtime, value=tx, priority=PRIORITY_DELIVERY)
+        done = self.env.timeout(airtime, value=tx, priority=PRIORITY_DELIVERY)
         done.callbacks.append(lambda _ev: self._finish(tx))
         return done
 
@@ -292,10 +342,16 @@ class Channel:
         (CTS/ACK/RAK sent during its airtime) are already stale; checking
         only the head would keep those stale entries in the overlap-scan
         lists until the head itself expires.
+
+        Single pass (compaction in place), skipped entirely for short
+        lists where scanning the stale entries is cheaper than pruning
+        them.  The per-transmit call sites in :meth:`transmit` inline
+        this with a min-end watermark per radio; this method remains the
+        semantic reference (and serves ad-hoc callers/tests).
         """
-        horizon = self.env.now - self._max_airtime
-        if any(t.end <= horizon for t in txs):
-            txs[:] = [t for t in txs if t.end > horizon]
+        if len(txs) < PRUNE_MIN_LEN:
+            return
+        _compact(txs, self.env.now - self._max_airtime)
 
     # -- reception -------------------------------------------------------------
 
@@ -303,11 +359,29 @@ class Channel:
         """Decide reception of *tx* at every potential receiver (stations
         within *decode* range; farther stations only suffered
         interference)."""
-        for nid in self.propagation.neighbors[tx.sender]:
-            radio = self.radios.get(nid)
-            if radio is None:
-                continue
-            self._receive_at(radio, tx)
+        radios = self.radios
+        receive_at = self._receive_at
+        for nid in self.propagation.neighbor_lists[tx.sender]:
+            radio = radios.get(nid)
+            if radio is not None:
+                receive_at(radio, tx)
+        # Retire the frame from the in-flight airtime multiset so the
+        # prune horizon tightens back once long frames land.  This MUST
+        # happen after the receive loop: listeners transmit synchronously
+        # (CTS/ACK responses) and those transmits prune the overlap
+        # lists -- while *tx*'s own receivers are still pending, entries
+        # overlapping tx must stay within the horizon, which requires
+        # tx's airtime to still be counted.
+        counts = self._airtime_counts
+        airtime = tx.frame.airtime
+        left = counts[airtime] - 1
+        if left:
+            counts[airtime] = left
+        else:
+            del counts[airtime]
+            if airtime >= self._max_airtime:
+                longest = max(counts) if counts else 1.0
+                self._max_airtime = longest if longest > 1.0 else 1.0
 
     def _receive_at(self, radio: Radio, tx: Transmission) -> None:
         obs = self._obs
@@ -326,21 +400,26 @@ class Channel:
                     src=tx.sender,
                 )
             return
+        tx_start = tx.start
+        tx_end = tx.end
         # Half-duplex: receiving while transmitting is impossible.
-        if any(own.overlaps(tx) for own in radio.own_tx):
-            self.stats.half_duplex_losses += 1
-            self.counters.inc("half_duplex_losses", node=radio.node_id)
-            if obs.active:
-                obs.emit(
-                    "half_duplex_loss",
-                    node=radio.node_id,
-                    uid=tx.frame.uid,
-                    ftype=tx.frame.ftype.value,
-                    src=tx.sender,
-                )
-            return
+        for own in radio.own_tx:
+            if own.start < tx_end and tx_start < own.end:
+                self.stats.half_duplex_losses += 1
+                self.counters.inc("half_duplex_losses", node=radio.node_id)
+                if obs.active:
+                    obs.emit(
+                        "half_duplex_loss",
+                        node=radio.node_id,
+                        uid=tx.frame.uid,
+                        ftype=tx.frame.ftype.value,
+                        src=tx.sender,
+                    )
+                return
 
-        overlaps = [t for t in radio.audible if t.overlaps(tx)]
+        overlaps = [
+            t for t in radio.audible if t.start < tx_end and tx_start < t.end
+        ]
         # tx itself is audible at radio by construction -- unless the node
         # moved into range *after* the transmission started (mobility):
         # then it never heard the preamble and cannot decode.
@@ -362,12 +441,23 @@ class Channel:
                     src=tx.sender,
                     k=k,
                 )
-            mine = self.propagation.rx_power(tx.sender, radio.node_id)
-            strongest = all(
-                self.propagation.rx_power(t.sender, radio.node_id) < mine
-                for t in overlaps
-                if t is not tx
-            )
+            # Capture ranking by *distance*: ``d**-eta`` is strictly
+            # decreasing in ``d``, so "every other frame strictly weaker"
+            # is exactly "every other sender strictly farther" -- same
+            # verdict as comparing rx_power(), without any pow() calls
+            # (co-located senders tie at distance 0 just as they tie at
+            # infinite power).
+            # Rank via the precomputed scalar power table (bit-identical
+            # to calling rx_power per frame, without the per-call
+            # attribute/array traffic).
+            rid = radio.node_id
+            rows = self.propagation.power_rows
+            mine = rows[tx.sender][rid]
+            strongest = True
+            for t in overlaps:
+                if t is not tx and rows[t.sender][rid] >= mine:
+                    strongest = False
+                    break
             if not (strongest and self.capture.attempt(k, self.rng)):
                 return
             self.stats.captures += 1

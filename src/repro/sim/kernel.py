@@ -24,6 +24,16 @@ Design notes
 * **Failures crash loudly.**  An exception escaping a process that nobody is
   waiting on is re-raised from :meth:`Environment.run` -- a simulation bug
   must never be silently swallowed.
+* **Allocation diet.**  The dominant kernel idiom is ``yield env.timeout(d)``
+  inside a hot loop; :meth:`Environment.sleep` serves it from a small free
+  list of recycled :class:`Timeout` objects instead of allocating a fresh
+  event per wait.  A recycled timeout is indistinguishable from a new one to
+  the scheduler (events are ordered by ``(time, priority, eid)``, never by
+  object identity), so pooling changes allocation pressure only, never
+  results.  Every event class carries ``__slots__`` (pinned by a test) and
+  :meth:`Environment.run` drives an inlined pop-and-dispatch loop rather
+  than a ``peek()``/``step()`` pair re-probing the heap head twice per
+  event.
 
 The public surface intentionally mirrors a useful subset of SimPy
 (``Environment``, ``Process``, ``Timeout``, ``AnyOf``, ``AllOf``,
@@ -33,8 +43,8 @@ machines directly.
 
 from __future__ import annotations
 
-import heapq
 from collections.abc import Generator, Iterable
+from heapq import heappop, heappush
 from typing import Any, Callable
 
 from repro.obs.events import EventBus
@@ -178,7 +188,7 @@ class Event:
 class Timeout(Event):
     """An event that triggers *delay* time units after creation."""
 
-    __slots__ = ("delay",)
+    __slots__ = ("delay", "_recycle")
 
     def __init__(
         self,
@@ -192,6 +202,9 @@ class Timeout(Event):
         super().__init__(env)
         self.delay = delay
         self._value = value
+        #: Set only by :meth:`Environment.sleep`: after this timeout's
+        #: callbacks have run, the scheduler may return it to the free list.
+        self._recycle = False
         self.env._schedule(self, priority, delay)
 
     @property
@@ -423,12 +436,18 @@ class Environment:
         Starting value of :attr:`now` (default 0).
     """
 
+    #: Upper bound on the recycled-timeout free list; beyond this, retired
+    #: timeouts are simply dropped for the garbage collector.
+    _POOL_MAX = 256
+
     def __init__(self, initial_time: float = 0):
         self._now = initial_time
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active: Process | None = None
         self._unhandled: BaseException | None = None
+        #: Free list of retired :meth:`sleep` timeouts awaiting reuse.
+        self._timeout_pool: list[Timeout] = []
         #: Observability event bus (see :mod:`repro.obs.events`).  Created
         #: once per environment and never replaced, so instrumented layers
         #: may cache the reference.
@@ -454,6 +473,34 @@ class Environment:
         """Create a :class:`Timeout` firing after *delay*."""
         return Timeout(self, delay, value, priority)
 
+    def sleep(self, delay: float, priority: int = PRIORITY_NORMAL) -> Timeout:
+        """A pooled :class:`Timeout` for the ``yield env.sleep(d)`` idiom.
+
+        Semantically identical to :meth:`timeout` (same scheduling, same
+        eid sequence, value ``None``), but the returned event is recycled
+        into a free list once its callbacks have run.  Callers must
+        therefore yield it immediately and never keep a reference past the
+        wait -- exactly the pattern of every hot wait loop in the MAC
+        layer.  For timeouts that are stored, composed into conditions, or
+        inspected after firing, use :meth:`timeout`.
+        """
+        pool = self._timeout_pool
+        if pool:
+            timeout = pool.pop()
+            if delay < 0:
+                raise ValueError(f"negative delay {delay}")
+            timeout.callbacks = []
+            timeout._value = None
+            timeout._exception = None
+            timeout._scheduled = False
+            timeout.defused = False
+            timeout.delay = delay
+            self._schedule(timeout, priority, delay)
+            return timeout
+        timeout = Timeout(self, delay, None, priority)
+        timeout._recycle = True
+        return timeout
+
     def process(self, generator: Generator, name: str | None = None) -> Process:
         """Start *generator* as a :class:`Process`."""
         return Process(self, generator, name)
@@ -471,7 +518,7 @@ class Environment:
             raise RuntimeError(f"{event!r} scheduled twice")
         event._scheduled = True
         self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        heappush(self._queue, (self._now + delay, priority, self._eid, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event (``inf`` when queue is empty)."""
@@ -485,7 +532,7 @@ class Environment:
         IndexError
             If the queue is empty.
         """
-        when, _prio, _eid, event = heapq.heappop(self._queue)
+        when, _prio, _eid, event = heappop(self._queue)
         if when < self._now:  # pragma: no cover - guarded by Timeout's check
             raise RuntimeError("event scheduled in the past")
         self._now = when
@@ -493,6 +540,8 @@ class Environment:
         if self._unhandled is not None:
             exc, self._unhandled = self._unhandled, None
             raise exc
+        if type(event) is Timeout and event._recycle and len(self._timeout_pool) < self._POOL_MAX:
+            self._timeout_pool.append(event)
 
     def run(self, until: float | Event | None = None) -> Any:
         """Run until *until* (a time, an event, or queue exhaustion).
@@ -519,9 +568,28 @@ class Environment:
             if deadline < self._now:
                 raise ValueError(f"until={deadline} is in the past (now={self._now})")
 
+        # Inlined step() loop: one heap pop per event instead of a peek()
+        # probe plus a pop, with the queue/pool bound to locals.  Identical
+        # event order and identical semantics to repeated step() calls
+        # (pinned by tests/sim/test_kernel_fastpath.py).
+        queue = self._queue
+        pool = self._timeout_pool
+        pool_max = self._POOL_MAX
         try:
-            while self._queue and self.peek() < deadline:
-                self.step()
+            while queue:
+                entry = queue[0]
+                when = entry[0]
+                if when >= deadline:
+                    break
+                heappop(queue)
+                event = entry[3]
+                self._now = when
+                event._run_callbacks()
+                if self._unhandled is not None:
+                    exc, self._unhandled = self._unhandled, None
+                    raise exc
+                if type(event) is Timeout and event._recycle and len(pool) < pool_max:
+                    pool.append(event)
             # Process events scheduled exactly at the deadline boundary?  No:
             # mirroring SimPy, run(until=t) stops *before* executing events at
             # time t, leaving them for a subsequent run().

@@ -49,6 +49,11 @@ class Radio:
         self.audible: list["Transmission"] = []
         #: This node's own transmissions (for half-duplex reception checks).
         self.own_tx: list["Transmission"] = []
+        #: Earliest end time in ``own_tx`` / ``audible`` -- the channel's
+        #: prune watermarks: a compaction pass can only remove something
+        #: when the watermark has fallen behind the prune horizon.
+        self.own_min_end: float = float("inf")
+        self.audible_min_end: float = float("inf")
         self._listeners: list[FrameListener] = []
         self._activity: Event = channel.env.event()
 

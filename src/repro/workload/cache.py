@@ -22,7 +22,11 @@ what keeps cached runs bit-identical to cold ones (tested in
 Two cache levels, because their keys differ:
 
 * **topology** -- keyed by ``(n_nodes, side, radius, interference_factor,
-  seed)``: positions + propagation;
+  seed)``: positions + propagation.  A cached
+  :class:`UnitDiskPropagation` carries its reception fast-path tables
+  (``power_rows`` / ``rx_matrix`` / ``neighbor_lists``, see
+  :mod:`repro.phy.propagation`) with it, so the per-topology table build
+  is also amortised across the cell's protocols and fault levels;
 * **schedule** -- keyed by the topology key plus ``(horizon,
   message_rate, mix)``: the :class:`TrafficGenerator` (its schedule is
   drawn from the topology's neighbor sets).

@@ -1,0 +1,177 @@
+"""Side-by-side property test for the idle-slot-skipping contention phase.
+
+The fast path in :meth:`Contender.contention_phase` burns provably-idle
+mid-slot samples in a single pooled timeout instead of stepping once per
+slot.  These tests drive random busy/idle patterns through the fast
+machine and through a literal copy of the pre-fast-path per-slot machine
+(:class:`ReferenceContender` below), asserting the observable outcomes are
+identical: the same win times, the same RNG state after every draw
+(i.e. identical draw count and order), and the same phase counters --
+while the fast machine schedules no more events than the reference.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mac.contention import Contender, ContentionParams
+from repro.mac.nav import Nav
+from repro.obs.counters import Counters
+from repro.sim.kernel import Environment
+
+
+class StubChannel:
+    def __init__(self):
+        self.counters = Counters()
+
+
+class StubRadio:
+    """Carrier-sense state only -- what the contention machine reads."""
+
+    def __init__(self, env, node_id=0):
+        self.env = env
+        self.node_id = node_id
+        self.busy_until = env.now
+        self.channel = StubChannel()
+
+
+class ReferenceContender(Contender):
+    """Bit-for-bit copy of the pre-fast-path per-slot contention machine."""
+
+    def contention_phase(self, attempt: int = 0):
+        self.phases_executed += 1
+        env = self.env
+        params = self.params
+        node = self.radio.node_id
+        self.radio.channel.counters.inc("contention_phases", node=node)
+        started = env.now
+
+        frac = env.now - math.floor(env.now)
+        yield env.timeout((0.5 - frac) % 1.0)
+
+        backoff = self.rng.randrange(params.window(attempt))
+        while True:
+            # -- DIFS: require `difs_slots` consecutive idle slots ---------
+            idle_run = 0
+            while idle_run < params.difs_slots:
+                if self._slot_was_busy():
+                    idle_run = 0
+                    if not params.resume_backoff:
+                        backoff = self.rng.randrange(params.window(attempt))
+                    yield env.timeout(self._next_sample_point())
+                else:
+                    idle_run += 1
+                    yield env.timeout(1.0)
+
+            # -- backoff countdown, frozen by activity ---------------------
+            frozen = False
+            while backoff > 0:
+                if self._slot_was_busy():
+                    frozen = True
+                    break
+                backoff -= 1
+                yield env.timeout(1.0)
+            if frozen:
+                continue
+
+            if self._slot_was_busy():
+                # Counter reached zero during a busy slot: defer.
+                continue
+
+            yield env.timeout(0.5)
+            assert env.now - started >= 0
+            return
+
+
+def build_world(busy_pulses, nav_pulses, noise_times, *, reference, params, seed, n_phases):
+    """Run *n_phases* contention phases under a scripted medium.
+
+    Busy transitions and NAV updates are applied inside event callbacks --
+    exactly the invariant the fast path's ``peek()`` reasoning relies on
+    (nothing in the world changes between scheduler events).
+    """
+    env = Environment()
+    radio = StubRadio(env)
+    nav = Nav(env)
+    cls = ReferenceContender if reference else Contender
+    contender = cls(env, radio, nav, random.Random(seed), params)
+
+    for at, dur in busy_pulses:
+        def make(d):
+            def cb(_ev):
+                radio.busy_until = max(radio.busy_until, env.now + d)
+            return cb
+        env.timeout(at).callbacks.append(make(dur))
+    for at, dur in nav_pulses:
+        def make_nav(d):
+            def cb(_ev):
+                nav.set(d)
+            return cb
+        env.timeout(at).callbacks.append(make_nav(dur))
+    for at in noise_times:
+        env.timeout(at)  # no callbacks: only perturbs the peek() horizon
+
+    wins = []
+
+    def proc():
+        for attempt in range(n_phases):
+            yield from contender.contention_phase(attempt)
+            wins.append(env.now)
+
+    env.process(proc())
+    env.run(until=100000)
+    return wins, contender.rng.getstate(), radio.channel.counters.total, env._eid
+
+
+pulse = st.tuples(
+    st.integers(min_value=0, max_value=60),
+    st.floats(min_value=0.5, max_value=12.0).map(lambda x: round(x * 2) / 2),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    busy_pulses=st.lists(pulse, max_size=6),
+    nav_pulses=st.lists(pulse, max_size=4),
+    noise_times=st.lists(st.integers(min_value=0, max_value=80), max_size=8),
+    difs=st.integers(min_value=1, max_value=3),
+    cw_min=st.sampled_from([1, 2, 8, 16]),
+    resume=st.booleans(),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    n_phases=st.integers(min_value=1, max_value=3),
+)
+def test_fast_path_matches_reference_machine(
+    busy_pulses, nav_pulses, noise_times, difs, cw_min, resume, seed, n_phases
+):
+    params = ContentionParams(
+        difs_slots=difs, cw_min=cw_min, cw_max=256, resume_backoff=resume
+    )
+    fast = build_world(
+        busy_pulses, nav_pulses, noise_times,
+        reference=False, params=params, seed=seed, n_phases=n_phases,
+    )
+    ref = build_world(
+        busy_pulses, nav_pulses, noise_times,
+        reference=True, params=params, seed=seed, n_phases=n_phases,
+    )
+    # Identical win times (transmit instants) and phase counts.
+    assert fast[0] == ref[0]
+    # Identical RNG state: same number of draws in the same order, so the
+    # backoff residues along the way were identical too.
+    assert fast[1] == ref[1]
+    assert fast[2] == ref[2]
+    # The whole point: the fast machine never schedules more events.
+    assert fast[3] <= ref[3]
+
+
+def test_fast_path_skips_events_on_idle_medium():
+    """On a silent medium a whole phase costs O(1) events, not O(backoff)."""
+    params = ContentionParams(difs_slots=2, cw_min=256, cw_max=256)
+    fast = build_world([], [], [], reference=False, params=params, seed=7, n_phases=1)
+    ref = build_world([], [], [], reference=True, params=params, seed=7, n_phases=1)
+    assert fast[0] == ref[0]
+    assert fast[3] < ref[3] / 10  # ~257 per-slot events collapse to a handful

@@ -86,3 +86,51 @@ class TestUnitDiskPropagation:
         prop = UnitDiskPropagation(pos, 0.2)
         assert prop.are_neighbors(0, 1)
         assert not prop.are_neighbors(0, 2)
+
+
+class TestFastTables:
+    """The precomputed reception fast-path tables (power_rows, rx_matrix,
+    neighbor/interferer id lists) must mirror the scalar model exactly."""
+
+    def test_power_rows_bitwise_match_scalar_pow(self):
+        rng = np.random.default_rng(5)
+        pos = rng.random((25, 2))
+        prop = UnitDiskPropagation(pos, 0.2)
+        for i in range(25):
+            for j in range(25):
+                d = prop.distances[i, j]
+                expected = float("inf") if d == 0.0 else d ** -prop.eta
+                assert prop.power_rows[i][j] == expected
+                assert prop.rx_power(i, j) == expected
+
+    def test_neighbor_lists_preserve_frozenset_iteration_order(self):
+        # Reception processing order determines channel RNG draw order, so
+        # the id lists must iterate exactly as the frozensets do.
+        rng = np.random.default_rng(6)
+        pos = rng.random((40, 2))
+        prop = UnitDiskPropagation(pos, 0.2)
+        for i in range(40):
+            assert prop.neighbor_lists[i] == list(prop.neighbors[i])
+        assert prop.interferer_lists is prop.neighbor_lists
+
+    def test_interferer_lists_split_when_factor_above_one(self):
+        rng = np.random.default_rng(7)
+        pos = rng.random((15, 2))
+        prop = UnitDiskPropagation(pos, 0.15, interference_factor=1.5)
+        assert prop.interferer_lists is not prop.neighbor_lists
+        for i in range(15):
+            assert prop.interferer_lists[i] == list(prop.interferers[i])
+
+    def test_tables_rebuilt_on_mobility(self):
+        rng = np.random.default_rng(8)
+        pos = rng.random((10, 2))
+        prop = UnitDiskPropagation(pos, 0.3)
+        before = [row[:] for row in prop.power_rows]
+        prop.update_positions(rng.random((10, 2)))
+        assert prop.power_rows != before
+        for i in range(10):
+            assert prop.neighbor_lists[i] == list(prop.neighbors[i])
+            for j in range(10):
+                d = prop.distances[i, j]
+                expected = float("inf") if d == 0.0 else d ** -prop.eta
+                assert prop.power_rows[i][j] == expected

@@ -334,24 +334,64 @@ class TestPruneStaleEntries:
 
     def test_stale_short_behind_fresh_long_head_is_pruned(self):
         env, ch, radios = make_channel([[0.5, 0.5], [0.55, 0.5]])
-        ch.transmit(radios[0], data(0, group={1}))  # sets _max_airtime to 5
+        ch.transmit(radios[0], data(0, group={1}))
+        # A second DATA still in flight at t=10 keeps _max_airtime at 5,
+        # so the prune horizon is 10 - 5 = 5.
+        at(env, 8, lambda: ch.transmit(radios[0], data(0, group={1})))
         env.run(until=10)
-        # Head: DATA still within the overlap horizon (end 8 > 10 - 5);
-        # behind it: an RTS that ended at 5 <= 10 - 5, i.e. stale.
+        # Head: DATA still within the overlap horizon (end 8 > 5);
+        # behind it: an RTS that ended at 5 <= 5, i.e. stale.  Padded
+        # with fresh control frames past PRUNE_MIN_LEN so the
+        # short-list fast path doesn't skip the pass.
         head = Transmission(data(0, group={1}), 0, 3.0, 8.0)
         stale = Transmission(rts(1), 1, 4.0, 5.0)
-        txs = [head, stale]
+        fresh = [Transmission(rts(1), 1, 5.0 + i, 6.0 + i) for i in range(6)]
+        txs = [head, stale, *fresh]
         ch._prune(txs)
-        assert txs == [head]
+        assert txs == [head, *fresh]
 
     def test_fresh_entries_untouched(self):
         env, ch, radios = make_channel([[0.5, 0.5], [0.55, 0.5]])
         ch.transmit(radios[0], data(0, group={1}))
         env.run(until=10)
-        txs = [Transmission(data(0, group={1}), 0, 3.0, 8.0), Transmission(rts(1), 1, 6.0, 7.0)]
+        # The DATA landed at t=5, so the in-flight maximum is back at the
+        # 1-slot floor and the horizon is 10 - 1 = 9: entries ending
+        # after 9 must all survive.
+        txs = [Transmission(rts(1), 1, 9.0, 10.0 + i) for i in range(8)]
         before = list(txs)
         ch._prune(txs)
         assert txs == before
+
+    def test_short_lists_skip_the_prune_pass(self):
+        env, ch, radios = make_channel([[0.5, 0.5], [0.55, 0.5]])
+        env.run(until=10)
+        # Below PRUNE_MIN_LEN scanning the stale entry is cheaper than
+        # compacting the list, so _prune leaves it alone.
+        stale = Transmission(rts(1), 1, 0.0, 1.0)
+        txs = [stale]
+        ch._prune(txs)
+        assert txs == [stale]
+
+    def test_max_airtime_tracks_frames_in_flight(self):
+        env, ch, radios = make_channel([[0.5, 0.5], [0.55, 0.5]])
+        ch.transmit(radios[0], data(0, group={1}))  # airtime 5
+        assert ch._max_airtime == 5.0
+        env.run(until=6)
+        # The DATA landed at t=5: no long frame in flight any more, so
+        # the horizon tightens back to the floor instead of ratcheting.
+        assert ch._max_airtime == 1.0
+        assert ch._airtime_counts == {}
+
+    def test_max_airtime_overlapping_long_frames(self):
+        env, ch, radios = make_channel([[0.5, 0.5], [0.55, 0.5], [0.45, 0.5]])
+        ch.transmit(radios[0], data(0, group={1}))  # ends at 5
+        at(env, 3, lambda: ch.transmit(radios[2], data(2, group={0})))  # ends at 8
+        env.run(until=6)
+        # First DATA landed, second still in flight: the maximum must
+        # reflect the live frame, not drop to the floor.
+        assert ch._max_airtime == 5.0
+        env.run(until=9)
+        assert ch._max_airtime == 1.0
 
     def test_audible_stays_bounded_in_long_mixed_airtime_run(self):
         """Long run with back-to-back DATA interleaved with per-slot

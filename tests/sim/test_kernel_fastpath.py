@@ -1,0 +1,194 @@
+"""Tests pinning the kernel allocation diet: pooled ``sleep`` timeouts,
+``__slots__`` on the whole event hierarchy, and the inlined ``run()``
+dispatch loop staying equivalent to repeated ``step()`` calls."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.kernel import (
+    AllOf,
+    AnyOf,
+    Condition,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    Timeout,
+)
+
+
+class TestSleepPooling:
+    def test_sleep_delivers_none_at_the_right_time(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            yield env.sleep(3)
+            log.append(env.now)
+            value = yield env.sleep(2.5)
+            log.append((env.now, value))
+
+        env.process(proc())
+        env.run()
+        assert log == [3, (5.5, None)]
+
+    def test_retired_sleep_timeout_is_reused(self):
+        env = Environment()
+        seen = []
+
+        def proc():
+            for _ in range(5):
+                t = env.sleep(1)
+                seen.append(id(t))
+                yield t
+
+        env.process(proc())
+        env.run()
+        # After the first sleep retires, the pool serves the same object.
+        assert len(set(seen)) == 1 or len(set(seen)) < len(seen)
+        assert len(env._timeout_pool) >= 1
+
+    def test_recycled_timeout_state_is_reset(self):
+        env = Environment()
+
+        def proc():
+            yield env.sleep(1)
+
+        env.process(proc())
+        env.run()
+        assert env._timeout_pool
+        t = env.sleep(4)
+        assert t.callbacks == []
+        assert t.delay == 4
+        assert t._exception is None
+        assert t.defused is False
+        env.run()
+
+    def test_plain_timeout_is_never_pooled(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1)
+
+        env.process(proc())
+        env.run()
+        assert env._timeout_pool == []
+
+    def test_negative_delay_rejected_on_both_paths(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.sleep(-1)  # fresh-allocation path
+        def proc():
+            yield env.sleep(1)
+        env.process(proc())
+        env.run()
+        assert env._timeout_pool
+        with pytest.raises(ValueError):
+            env.sleep(-1)  # pooled path
+
+    def test_pool_is_bounded(self):
+        env = Environment()
+
+        def proc():
+            # More simultaneous sleeps than _POOL_MAX; all retire at once.
+            yield env.all_of([env.sleep(1) for _ in range(Environment._POOL_MAX + 50)])
+
+        env.process(proc())
+        env.run()
+        assert len(env._timeout_pool) <= Environment._POOL_MAX
+
+    def test_interrupt_during_sleep_is_safe(self):
+        """The victim detaches from its sleep timeout; the timeout later
+        fires with no callbacks and is recycled without resuming anyone."""
+        env = Environment()
+        log = []
+
+        def victim():
+            try:
+                yield env.sleep(10)
+                log.append("slept")
+            except Interrupt as exc:
+                log.append(("interrupted", env.now, exc.cause))
+                yield env.sleep(1)
+                log.append(("resumed", env.now))
+
+        proc = env.process(victim())
+
+        def interrupter():
+            yield env.timeout(4)
+            proc.interrupt("stop")
+
+        env.process(interrupter())
+        env.run()
+        assert log == [("interrupted", 4, "stop"), ("resumed", 5)]
+
+
+class TestSlots:
+    def test_event_hierarchy_has_no_instance_dict(self):
+        env = Environment()
+
+        def gen():
+            yield env.timeout(1)
+
+        instances = [
+            Event(env),
+            Timeout(env, 1),
+            env.sleep(1),
+            Process(env, gen()),
+            AnyOf(env, []),
+            AllOf(env, []),
+        ]
+        for obj in instances:
+            assert not hasattr(obj, "__dict__"), type(obj).__name__
+        for cls in (Event, Timeout, Process, Condition, AnyOf, AllOf):
+            assert "__slots__" in vars(cls), cls.__name__
+        env.run()
+
+
+class TestRunLoopEquivalence:
+    @staticmethod
+    def scenario(env, log):
+        def worker(tag, delay):
+            for i in range(3):
+                yield env.sleep(delay)
+                log.append((env.now, tag, i))
+
+        def failer():
+            yield env.timeout(7)
+            log.append((env.now, "failer", -1))
+
+        env.process(worker("a", 2))
+        env.process(worker("b", 3.5))
+        env.process(failer())
+        ev = env.event()
+        env.timeout(5).callbacks.append(lambda _e: ev.succeed("five"))
+        ev.callbacks.append(lambda e: log.append((env.now, "event", e.value)))
+
+    def test_run_matches_manual_stepping(self):
+        env_a = Environment()
+        log_a = []
+        self.scenario(env_a, log_a)
+        env_a.run(until=9)
+
+        env_b = Environment()
+        log_b = []
+        self.scenario(env_b, log_b)
+        while env_b.peek() < 9:
+            env_b.step()
+        env_b._now = 9
+
+        assert log_a == log_b
+        assert env_a.now == env_b.now == 9
+        assert env_a._eid == env_b._eid
+
+    def test_run_until_event_still_works_with_pooling(self):
+        env = Environment()
+
+        def proc():
+            yield env.sleep(3)
+            return "done"
+
+        p = env.process(proc())
+        assert env.run(until=p) == "done"
+        assert env.now == 3
