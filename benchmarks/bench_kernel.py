@@ -12,6 +12,7 @@ import pytest
 from repro.experiments.benchkernel import (
     NETWORK_CASES,
     bench_network_case,
+    bench_observer_overhead,
     bench_sleep_churn,
     bench_timeout_churn,
 )
@@ -42,3 +43,13 @@ def test_network_case(benchmark, case):
     assert result["sim_slots"] == NETWORK_CASES[case]["horizon"]
     if NETWORK_CASES[case]["message_rate"] > 0:
         assert result["n_requests"] > 0
+
+
+def test_observer_overhead(benchmark):
+    """Event-bus + profiler cost: bare vs observed vs profiled wall clock."""
+    result = benchmark.pedantic(bench_observer_overhead, rounds=3, iterations=1)
+    assert result["n_requests"] > 0
+    # The counting subscriber saw real traffic, so the guard's open path
+    # (build + dispatch a SimEvent per emit) was actually exercised.
+    assert result["n_events"] > 0
+    assert result["bare_slots_per_sec"] is not None

@@ -12,6 +12,8 @@ Examples::
     repro-mac faults --axis burst --values 0,4,16,64 --seeds 3
     repro-mac gate --baseline results/sweep.json --store results/store.sqlite
     repro-mac bench-kernel --churn-events 100000 --out results/
+    repro-mac sweep --seeds 5 --telemetry results/sweep.telemetry.jsonl
+    repro-mac watch results/sweep.telemetry.jsonl
     python -m repro figure5
 
 Every ``--out`` invocation also writes a ``<name>.manifest.json``
@@ -32,6 +34,19 @@ sigma -- see ``docs/faults.md``) instead of a workload axis.  The
 by a previous sweep's results JSON and fail (exit 1) if metrics,
 counters or throughput drifted beyond tolerance, writing a
 machine-readable ``GATE_<name>.json`` report.
+
+Campaign observability (``docs/telemetry.md``): ``--telemetry PATH`` on
+``sweep`` / ``faults`` streams live progress (cells done/pending,
+per-worker heartbeats, rolling slots/sec, ETA, per-cell phase spans) as
+append-only JSONL; ``repro-mac watch PATH`` tails and renders it (or
+``--once`` for a post-hoc snapshot).  ``--mac-profile`` attaches the
+kernel phase profiler, attributing simulate wall clock to MAC phases
+(DIFS/backoff, DATA, ACK collection, ...); ``repro-mac trace <figure>
+--profile`` prints the same attribution for a single run.
+
+Subcommands report user errors (unknown protocol, missing baseline or
+telemetry file, malformed JSON) as a one-line message on stderr and a
+nonzero exit code -- never a traceback.
 """
 
 from __future__ import annotations
@@ -60,6 +75,7 @@ __all__ = [
     "build_faults_parser",
     "build_gate_parser",
     "build_bench_kernel_parser",
+    "build_watch_parser",
 ]
 
 #: Experiments that run simulations and accept a ``seeds`` argument.
@@ -195,10 +211,16 @@ _SWEEP_AXES = {
 
 def _print_execution(result) -> None:
     """The shared one-line execution summary of a finished grid."""
+    if result.slots_per_sec is not None:
+        rate = f"{result.slots_per_sec:,.0f} slots/s"
+    elif result.store_served:
+        rate = "store-served, no fresh throughput"
+    else:
+        rate = "0 slots/s"
     print(
         f"[{result.n_jobs} jobs, {result.processes} workers, chunksize {result.chunksize}; "
         f"world cache {result.cache_hits}/{result.cache_hits + result.cache_misses} hits; "
-        f"{result.slots_per_sec or 0.0:,.0f} slots/s]"
+        f"{rate}]"
     )
     if result.store_path is not None:
         print(
@@ -266,7 +288,38 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         "computed under this settings digest + code fingerprint, commit "
         "fresh cells as they finish so an interrupted campaign resumes",
     )
+    _add_telemetry_arguments(parser)
     return parser
+
+
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    """The campaign-observability flags shared by ``sweep`` and ``faults``."""
+    parser.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="stream live campaign telemetry (append-only JSONL: progress, "
+        "worker heartbeats, per-cell phase spans) to PATH; follow it from "
+        "another terminal with 'repro-mac watch PATH'",
+    )
+    parser.add_argument(
+        "--mac-profile", action="store_true",
+        help="attach the kernel phase profiler to every fresh run: simulate "
+        "wall clock attributed to MAC phases (DIFS/backoff, DATA, ACK "
+        "collection, ...), aggregated per protocol into the manifest; "
+        "results stay bit-identical",
+    )
+
+
+def _print_campaign_observability(result) -> None:
+    """Post-grid report of the ``--telemetry`` / ``--mac-profile`` flags."""
+    from repro.obs.profiler import format_phase_profile
+
+    if result.mac_profile:
+        for proto in result.protocols:
+            phases = result.mac_profile.get(proto)
+            if phases:
+                print(format_phase_profile(phases, title=f"{proto} MAC phase profile"))
+    if result.telemetry_path is not None:
+        print(f"[telemetry {result.telemetry_path}]")
 
 
 def _sweep_main(argv: list[str]) -> int:
@@ -299,6 +352,9 @@ def _sweep_main(argv: list[str]) -> int:
         processes=args.jobs or None,
         chunksize=args.chunksize,
         store=args.store,
+        telemetry=args.telemetry,
+        profile=args.mac_profile,
+        campaign=args.name,
     )
 
     for idx, value in enumerate(values):
@@ -314,6 +370,7 @@ def _sweep_main(argv: list[str]) -> int:
     print()
     print(format_timings(result.timings, title=f"{args.name} phases"))
     _print_execution(result)
+    _print_campaign_observability(result)
 
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -415,6 +472,7 @@ def build_faults_parser() -> argparse.ArgumentParser:
         help="content-addressed results store (SQLite); same semantics as "
         "'repro-mac sweep --store'",
     )
+    _add_telemetry_arguments(parser)
     return parser
 
 
@@ -468,7 +526,15 @@ def _faults_main(argv: list[str]) -> int:
     scenario = Scenario(
         settings=base, protocols=tuple(protocols), seeds=tuple(range(args.seeds))
     )
-    result = run_sweep(scenario, points, processes=args.jobs or None, store=args.store)
+    result = run_sweep(
+        scenario,
+        points,
+        processes=args.jobs or None,
+        store=args.store,
+        telemetry=args.telemetry,
+        profile=args.mac_profile,
+        campaign=args.name,
+    )
 
     for idx, value in enumerate(values):
         print(f"== {args.axis} = {value:g} ==")
@@ -489,6 +555,7 @@ def _faults_main(argv: list[str]) -> int:
     print()
     print(format_timings(result.timings, title=f"{args.name} phases"))
     _print_execution(result)
+    _print_campaign_observability(result)
 
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -693,7 +760,9 @@ def build_trace_parser() -> argparse.ArgumentParser:
         help="max slots rendered in the lane diagram (default 120)",
     )
     parser.add_argument(
-        "--profile", action="store_true", help="print build/inject/simulate phase timings"
+        "--profile", action="store_true",
+        help="print build/inject/simulate phase timings plus the kernel "
+        "phase profiler's MAC-phase attribution of the simulate time",
     )
     return parser
 
@@ -726,7 +795,10 @@ def _trace_main(argv: list[str]) -> int:
     stem = f"trace_{args.figure}_{args.protocol}_seed{args.seed}"
     trace_path = out_dir / f"{stem}.jsonl"
     with JsonlTraceWriter(trace_path) as writer:
-        raw = run_raw(mac_cls, settings, args.seed, kwargs, subscribers=[writer])
+        raw = run_raw(
+            mac_cls, settings, args.seed, kwargs,
+            subscribers=[writer], profile=args.profile,
+        )
 
     events = load_trace(trace_path)
     print(lane_diagram(transmissions_from_trace(events), max_width=args.lane_width))
@@ -742,24 +814,108 @@ def _trace_main(argv: list[str]) -> int:
     print(f"[trace {trace_path}]")
     print(f"[manifest {manifest_path}]")
     if args.profile:
+        from repro.obs.profiler import format_phase_profile
+
         print(format_timings(raw.timings, title="run profile"))
+        if raw.mac_profile:
+            print(format_phase_profile(raw.mac_profile, title="MAC phase profile"))
     return 0
+
+
+# --------------------------------------------------------------------------
+# `repro-mac watch` -- tail/render a campaign telemetry stream
+# --------------------------------------------------------------------------
+
+
+def build_watch_parser() -> argparse.ArgumentParser:
+    """Argument parser for the ``repro-mac watch`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mac watch",
+        description=(
+            "Render a campaign telemetry stream (written by 'repro-mac sweep "
+            "--telemetry PATH') as a single-screen progress view: cells "
+            "done/pending/store-served, per-worker heartbeats, rolling "
+            "slots/sec, ETA, span phase totals.  Follows a live stream "
+            "until its 'end' record; works post-hoc on finished or "
+            "interrupted streams."
+        ),
+    )
+    parser.add_argument(
+        "stream", metavar="FILE",
+        help="the telemetry JSONL file to watch",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="render the current state once and exit (post-hoc snapshot)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=1.0, metavar="S",
+        help="refresh period in follow mode (default 1.0s)",
+    )
+    return parser
+
+
+def _watch_main(argv: list[str]) -> int:
+    from pathlib import Path
+
+    from repro.obs.telemetry import load_telemetry, render_telemetry
+
+    args = build_watch_parser().parse_args(argv)
+    path = Path(args.stream)
+    if not path.is_file():
+        raise FileNotFoundError(f"no telemetry stream at {path}")
+    stream = load_telemetry(path)
+    print(render_telemetry(stream))
+    if args.once or stream.completed:
+        return 0
+    try:
+        while not stream.completed:
+            time.sleep(max(args.interval, 0.05))
+            stream = load_telemetry(path)
+            # Redraw in place: clear screen, home cursor, render again.
+            print("\x1b[2J\x1b[H" + render_telemetry(stream))
+    except KeyboardInterrupt:
+        print()
+        return 130
+    return 0
+
+
+#: Subcommand dispatch table (argv[0] -> implementation).
+_SUBCOMMANDS = {
+    "trace": _trace_main,
+    "sweep": _sweep_main,
+    "faults": _faults_main,
+    "gate": _gate_main,
+    "bench-kernel": _bench_kernel_main,
+    "watch": _watch_main,
+}
+
+
+def _run_subcommand(func, argv: list[str]) -> int:
+    """Run a subcommand, turning user errors into one-line messages.
+
+    Unknown protocol names (:func:`protocol_class` raises ``KeyError``),
+    missing or malformed baseline / telemetry / trace files and schema
+    mismatches all surface as ``repro-mac: error: ...`` on stderr with
+    exit code 2 -- a traceback here means a bug, not a typo.
+    """
+    try:
+        return func(argv)
+    except KeyError as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"repro-mac: error: {message}", file=sys.stderr)
+        return 2
+    except (OSError, ValueError) as exc:  # includes json.JSONDecodeError
+        print(f"repro-mac: error: {exc}", file=sys.stderr)
+        return 2
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] == "trace":
-        return _trace_main(argv[1:])
-    if argv and argv[0] == "sweep":
-        return _sweep_main(argv[1:])
-    if argv and argv[0] == "faults":
-        return _faults_main(argv[1:])
-    if argv and argv[0] == "gate":
-        return _gate_main(argv[1:])
-    if argv and argv[0] == "bench-kernel":
-        return _bench_kernel_main(argv[1:])
+    if argv and argv[0] in _SUBCOMMANDS:
+        return _run_subcommand(_SUBCOMMANDS[argv[0]], argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "report":
         from repro.experiments.fullreport import generate_report

@@ -27,6 +27,13 @@ per case, so a regression can be attributed to the layer that caused it:
     per-receiver rounds burns hundreds of provably idle backoff slots.
     The pre-fast-path machine stepped the kernel once per slot here; the
     fast path collapses each solo phase to a handful of events.
+``observer_overhead``
+    The price of looking: the same traffic-heavy run three times --
+    unobserved (emit sites pay only the ``obs.active`` guard), with a
+    minimal counting subscriber (every site builds and dispatches a
+    :class:`SimEvent`), and with the kernel phase profiler attached.
+    Metrics are bit-identical across the three (the no-op discipline);
+    this case pins how much wall clock observation itself costs.
 
 Every record is stamped with the git commit and the simulation-code
 fingerprint (like :func:`repro.experiments.sweep.bench_record`) so the
@@ -52,6 +59,7 @@ __all__ = [
     "bench_timeout_churn",
     "bench_sleep_churn",
     "bench_network_case",
+    "bench_observer_overhead",
     "kernel_bench_record",
     "save_kernel_bench",
     "format_kernel_bench",
@@ -151,6 +159,57 @@ def bench_network_case(case: str, *, protocol: str = "BMMM", seed: int = 0) -> d
     }
 
 
+#: The observer-overhead scenario: busy enough that emit sites fire often
+#: (the guard's worst case), short enough to run three times per record.
+_OBSERVER_CASE: dict = {"n_nodes": 60, "horizon": 2_000, "message_rate": 0.002}
+
+
+def bench_observer_overhead(*, protocol: str = "BMMM", seed: int = 0) -> dict:
+    """Price the event bus and its instruments on one busy scenario.
+
+    Runs the same (settings, seed) three ways -- bare, with a minimal
+    counting subscriber, and with the kernel phase profiler -- and
+    reports simulate-phase slots/sec for each plus the observed/profiled
+    overhead as a ratio over bare.  The three runs' delivery metrics are
+    bit-identical (no-op discipline, pinned by the obs/profiler tests);
+    only the wall clock is allowed to move.
+    """
+    settings = SimulationSettings(**_OBSERVER_CASE)
+    mac_cls, kwargs = protocol_class(protocol)
+
+    def one(**kw) -> tuple[float, object]:
+        raw = run_raw(mac_cls, settings, seed, kwargs, **kw)
+        return raw.timings.get("simulate", 0.0), raw
+
+    bare_s, raw = one()
+    seen = {"events": 0}
+
+    def counting_subscriber(event) -> None:
+        seen["events"] += 1
+
+    observed_s, _ = one(subscribers=[counting_subscriber])
+    profiled_s, _ = one(profile=True)
+    horizon = float(settings.horizon)
+
+    def rate(simulate_s: float) -> float | None:
+        return horizon / simulate_s if simulate_s > 0 else None
+
+    return {
+        "protocol": protocol,
+        "seed": seed,
+        "settings": dict(_OBSERVER_CASE),
+        "n_requests": len(raw.requests),
+        "n_events": seen["events"],
+        "sim_slots": horizon,
+        "wall_clock_s": bare_s + observed_s + profiled_s,
+        "bare_slots_per_sec": rate(bare_s),
+        "observed_slots_per_sec": rate(observed_s),
+        "profiled_slots_per_sec": rate(profiled_s),
+        "observed_overhead": observed_s / bare_s if bare_s > 0 else None,
+        "profiled_overhead": profiled_s / bare_s if bare_s > 0 else None,
+    }
+
+
 def kernel_bench_record(
     name: str = "kernel", *, churn_events: int = 200_000, protocol: str = "BMMM"
 ) -> dict:
@@ -161,6 +220,7 @@ def kernel_bench_record(
     }
     for case in NETWORK_CASES:
         cases[case] = bench_network_case(case, protocol=protocol)
+    cases["observer_overhead"] = bench_observer_overhead(protocol=protocol)
     return {
         "name": name,
         "kind": "kernel-bench",
@@ -191,6 +251,17 @@ def format_kernel_bench(record: dict) -> str:
             rate = data["events_per_sec"] or 0.0
             lines.append(
                 f"  {case:<16} {rate:>14,.0f} events/s  ({data['events']:,} events)"
+            )
+        elif "bare_slots_per_sec" in data:
+            bare = data["bare_slots_per_sec"] or 0.0
+            observed = data["observed_overhead"]
+            profiled = data["profiled_overhead"]
+            lines.append(
+                f"  {case:<16} {bare:>14,.0f} slots/s   "
+                f"(observed x{observed:.2f}, profiled x{profiled:.2f}, "
+                f"{data['n_events']:,} bus events)"
+                if observed is not None and profiled is not None
+                else f"  {case:<16} {bare:>14,.0f} slots/s"
             )
         else:
             rate = data["slots_per_sec"] or 0.0

@@ -64,6 +64,10 @@ class RawRun:
     counters: Counters = field(default_factory=Counters)
     #: Wall-clock seconds per phase (``build`` / ``inject`` / ``simulate``).
     timings: dict[str, float] = field(default_factory=dict)
+    #: Simulate-phase wall clock attributed to MAC phases by the kernel
+    #: phase profiler (:mod:`repro.obs.profiler`); ``None`` unless the run
+    #: was started with ``profile=True``.  Sums to ``timings["simulate"]``.
+    mac_profile: dict[str, float] | None = None
 
     def metrics(self, threshold: float | None = None) -> RunMetrics:
         th = self.settings.threshold if threshold is None else threshold
@@ -77,6 +81,9 @@ class RawRun:
         wall = sum(self.timings.values()) if self.timings else None
         sim_slots = float(self.settings.horizon)
         simulate_s = self.timings.get("simulate", 0.0)
+        extra: dict = {}
+        if self.mac_profile is not None:
+            extra["mac_profile"] = dict(self.mac_profile)
         return RunManifest(
             protocol=protocol,
             seed=self.seed,
@@ -87,6 +94,7 @@ class RawRun:
             slots_per_sec=(sim_slots / simulate_s) if simulate_s > 0 else None,
             n_requests=len(self.requests),
             counters=dict(self.counters.total),
+            extra=extra,
         )
 
 
@@ -171,6 +179,7 @@ def run_raw(
     record_transmissions: bool = False,
     subscribers: Iterable[Subscriber] = (),
     world: "WorldParts | None" = None,
+    profile: bool = False,
 ) -> RawRun:
     """One full simulation run; returns raw material for scoring.
 
@@ -184,7 +193,9 @@ def run_raw(
     for the duration of the run (e.g. a
     :class:`~repro.obs.trace.JsonlTraceWriter`); observability events and
     subscribers never touch the RNG streams, so an observed run is
-    bit-identical to a bare one.
+    bit-identical to a bare one.  *profile* attaches a
+    :class:`~repro.obs.profiler.KernelPhaseProfiler` (another inert
+    subscriber) and surfaces its attribution as ``RawRun.mac_profile``.
     """
     timer = PhaseTimer()
     with timer.phase("build"):
@@ -198,6 +209,11 @@ def run_raw(
         )
         for subscriber in subscribers:
             net.env.obs.subscribe(subscriber)
+        profiler = None
+        if profile:
+            from repro.obs.profiler import KernelPhaseProfiler
+
+            profiler = KernelPhaseProfiler().attach(net.env)
     with timer.phase("inject"):
         gen = (
             world.generator
@@ -214,6 +230,9 @@ def run_raw(
         requests = gen.inject(net)
     with timer.phase("simulate"):
         net.run(until=settings.horizon)
+    mac_profile = None
+    if profiler is not None:
+        mac_profile = dict(profiler.finish(timer.timings.get("simulate")))
     return RawRun(
         requests,
         net.channel.stats,
@@ -222,6 +241,7 @@ def run_raw(
         seed,
         counters=net.channel.counters,
         timings=timer.timings,
+        mac_profile=mac_profile,
     )
 
 

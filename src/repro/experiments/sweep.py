@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
@@ -54,6 +55,7 @@ from repro.experiments.scenario import Scenario
 from repro.metrics.aggregate import RunMetrics
 from repro.obs.manifest import RunManifest, settings_to_dict
 from repro.obs.profile import PhaseTimer
+from repro.obs.telemetry import CampaignTelemetry, cell_key, span_summary
 from repro.store.db import ResultStore
 from repro.store.digests import code_fingerprint, git_commit, settings_digest
 from repro.workload.cache import WorldCache
@@ -82,6 +84,9 @@ class SweepJob:
     seed: int
     settings: SimulationSettings
     threshold: float | None = None
+    #: Attach the kernel phase profiler to this run (an inert event-bus
+    #: subscriber -- results stay bit-identical; see repro.obs.profiler).
+    profile: bool = False
 
 
 @dataclass
@@ -97,6 +102,11 @@ class JobResult:
     timings: dict[str, float]
     #: Whether the world (topology + schedule) came from the worker cache.
     cache_hit: bool = False
+    #: Worker process id and job start (epoch seconds) -- the span record.
+    worker: int = 0
+    started_at: float = 0.0
+    #: Kernel phase profiler attribution (``None`` unless profiled).
+    mac_profile: dict[str, float] | None = None
 
 
 @dataclass
@@ -115,6 +125,7 @@ def plan_jobs(
     points: Sequence[SimulationSettings],
     seeds: Sequence[int],
     threshold: float | None = None,
+    profile: bool = False,
 ) -> list[SweepJob]:
     """Flatten the grid, protocols innermost.
 
@@ -124,7 +135,14 @@ def plan_jobs(
     ``len(protocols) - 1`` times.
     """
     return [
-        SweepJob(point=p, protocol=proto, seed=seed, settings=st, threshold=threshold)
+        SweepJob(
+            point=p,
+            protocol=proto,
+            seed=seed,
+            settings=st,
+            threshold=threshold,
+            profile=profile,
+        )
         for p, st in enumerate(points)
         for seed in seeds
         for proto in protocols
@@ -139,6 +157,7 @@ def run_job(job: SweepJob, cache: WorldCache | None = None) -> JobResult:
     :func:`~repro.experiments.runner.run_raw`), so results do not depend
     on what ran before in this process.
     """
+    started_at = time.time()
     mac_cls, kwargs = protocol_class(job.protocol)
     hit = False
     world = None
@@ -146,7 +165,7 @@ def run_job(job: SweepJob, cache: WorldCache | None = None) -> JobResult:
         hits_before = cache.hits
         world = cache.world(job.settings, job.seed)
         hit = cache.hits > hits_before
-    raw = run_raw(mac_cls, job.settings, job.seed, kwargs, world=world)
+    raw = run_raw(mac_cls, job.settings, job.seed, kwargs, world=world, profile=job.profile)
     return JobResult(
         point=job.point,
         protocol=job.protocol,
@@ -155,6 +174,9 @@ def run_job(job: SweepJob, cache: WorldCache | None = None) -> JobResult:
         degree=raw.average_degree,
         timings=raw.timings,
         cache_hit=hit,
+        worker=os.getpid(),
+        started_at=started_at,
+        mac_profile=raw.mac_profile,
     )
 
 
@@ -198,6 +220,15 @@ class SweepResult:
     #: Per-point settings digests (the store addresses) -- recorded even
     #: without a store so manifests always carry the cell identities.
     point_digests: list[str] = field(default_factory=list)
+    #: Cross-worker spans (cell key, phase, t0, dur_s, worker) merged in
+    #: planned-job order -- one build/inject/simulate span per freshly
+    #: computed cell plus a ``commit`` span per store write.
+    spans: list[dict] = field(default_factory=list)
+    #: Kernel phase profiler attribution summed per protocol over the
+    #: freshly computed cells (``None`` unless run with ``profile=True``).
+    mac_profile: dict[str, dict[str, float]] | None = None
+    #: Where the campaign telemetry stream was written (if enabled).
+    telemetry_path: str | None = None
 
     # -- accessors ---------------------------------------------------------
 
@@ -230,8 +261,22 @@ class SweepResult:
         return float(sum(st.horizon * n_runs_per_point for st in self.points))
 
     @property
+    def store_served(self) -> bool:
+        """True when *every* cell came from the results store -- no
+        simulation ran, so throughput numbers would be meaningless."""
+        return self.n_jobs > 0 and self.store_hits >= self.n_jobs
+
+    @property
     def slots_per_sec(self) -> float | None:
-        """Simulated slots per wall-clock second -- the headline number."""
+        """Simulated slots per wall-clock second -- the headline number.
+
+        ``None`` for a fully store-served campaign: the wall clock then
+        measures SQLite reads, not the simulator, and the resulting
+        "throughput" used to be a nonsense number orders of magnitude off
+        (matching the regression gate's auto-skip of its bench check).
+        """
+        if self.store_served:
+            return None
         if self.wall_clock_s > 0:
             return self.sim_slots / self.wall_clock_s
         return None
@@ -260,6 +305,7 @@ class SweepResult:
                 "timings": dict(self.timings),
                 "sim_slots": self.sim_slots,
                 "slots_per_sec": self.slots_per_sec,
+                "store_served": self.store_served,
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
                 "store": {
@@ -267,6 +313,7 @@ class SweepResult:
                     "hits": self.store_hits,
                     "misses": self.store_misses,
                 },
+                "telemetry": self.telemetry_path,
             },
         }
 
@@ -280,6 +327,9 @@ def run_sweep(
     chunksize: int | None = None,
     threshold: float | None = None,
     store=None,
+    telemetry=None,
+    profile: bool = False,
+    campaign: str = "sweep",
 ) -> SweepResult:
     """Run the full protocols x points x seeds grid.
 
@@ -303,6 +353,17 @@ def run_sweep(
     simulated, and every fresh cell is committed as soon as its worker
     returns, so a killed campaign resumes where it stopped.  Merged
     metrics and counters are bit-identical either way (tested).
+
+    *telemetry* (a path, open text file, or prebuilt
+    :class:`~repro.obs.telemetry.CampaignTelemetry`) streams campaign
+    progress -- cells done/pending/store-served, per-worker heartbeats,
+    rolling slots/sec, ETA, and per-cell phase spans -- as append-only
+    JSONL for ``repro-mac watch``; *campaign* names the stream.
+    *profile* attaches the kernel phase profiler to every freshly
+    computed run (see :mod:`repro.obs.profiler`), aggregated per protocol
+    on ``SweepResult.mac_profile``.  Both are coordinator/subscriber-side
+    instruments: enabled or not, metrics and counters are bit-identical
+    (pinned by ``tests/experiments/test_sweep_telemetry.py``).
     """
     if isinstance(protocols, Scenario):
         sc = protocols
@@ -328,12 +389,27 @@ def run_sweep(
     if not protocols or not points or not seeds:
         raise ValueError("sweep needs at least one protocol, one point and one seed")
     timer = PhaseTimer()
-    jobs = plan_jobs(protocols, points, seeds, threshold)
+    jobs = plan_jobs(protocols, points, seeds, threshold, profile=profile)
     point_digests = [settings_digest(st, threshold) for st in points]
 
     opened = None
     if store is not None and not isinstance(store, ResultStore):
         store = opened = ResultStore(store)
+    opened_telemetry = None
+    if telemetry is not None and not isinstance(telemetry, CampaignTelemetry):
+        telemetry = opened_telemetry = CampaignTelemetry(
+            telemetry,
+            campaign=campaign,
+            n_jobs=len(jobs),
+            point_slots=[float(st.horizon) for st in points],
+            point_digests=point_digests,
+            extra={
+                "protocols": list(protocols),
+                "n_points": len(points),
+                "n_seeds": len(seeds),
+                "profile": profile,
+            },
+        )
     try:
         stored: dict[tuple[int, str, int], JobResult] = {}
         pending = jobs
@@ -350,16 +426,25 @@ def run_sweep(
                         stored[(job.point, job.protocol, job.seed)] = hit
                     else:
                         pending.append(job)
+        if telemetry is not None:
+            telemetry.store_scan(len(stored), len(pending))
 
         fresh: dict[tuple[int, str, int], JobResult] = {}
+        commit_spans: dict[tuple[int, str, int], float] = {}
 
         def record(res: JobResult) -> None:
             # Commit-per-cell: a kill between cells loses nothing.
+            commit_s = None
             if store is not None:
+                t0 = time.perf_counter()
                 store.put(
                     point_digests[res.point], res.protocol, res.seed, res, fingerprint
                 )
+                commit_s = time.perf_counter() - t0
+                commit_spans[(res.point, res.protocol, res.seed)] = commit_s
             fresh[(res.point, res.protocol, res.seed)] = res
+            if telemetry is not None:
+                telemetry.job_done(res, commit_s=commit_s)
 
         n_cells = len({(j.point, j.seed) for j in pending})
         if not pending:
@@ -386,8 +471,12 @@ def run_sweep(
             }
             phase_sums: dict[str, float] = {}
             hits = misses = 0
+            spans: list[dict] = []
+            profile_sums: dict[str, dict[str, float]] = {}
             # Walk the planned job order so per-cell metric lists stay
-            # seed-ordered regardless of where each result came from.
+            # seed-ordered regardless of where each result came from --
+            # and so the merged span log reads in campaign order, however
+            # the pool interleaved the workers.
             for job in jobs:
                 key = (job.point, job.protocol, job.seed)
                 restored = stored.get(key)
@@ -397,8 +486,35 @@ def run_sweep(
                 cell.degrees.append(res.degree)
                 if restored is not None:
                     continue  # no wall clock was spent on this cell now
+                ckey = cell_key(res.point, res.protocol, res.seed)
+                offset = 0.0
                 for phase, seconds in res.timings.items():
                     phase_sums[phase] = phase_sums.get(phase, 0.0) + seconds
+                    spans.append(
+                        {
+                            "cell": ckey,
+                            "phase": phase,
+                            "t0": res.started_at + offset,
+                            "dur_s": seconds,
+                            "worker": res.worker,
+                        }
+                    )
+                    offset += seconds
+                commit_s = commit_spans.get(key)
+                if commit_s is not None:
+                    spans.append(
+                        {
+                            "cell": ckey,
+                            "phase": "commit",
+                            "t0": None,
+                            "dur_s": commit_s,
+                            "worker": os.getpid(),
+                        }
+                    )
+                if res.mac_profile is not None:
+                    sums = profile_sums.setdefault(res.protocol, {})
+                    for phase, seconds in res.mac_profile.items():
+                        sums[phase] = sums.get(phase, 0.0) + seconds
                 if res.cache_hit:
                     hits += 1
                 else:
@@ -406,7 +522,7 @@ def run_sweep(
         timings = {"dispatch": timer.timings.get("dispatch", 0.0), **phase_sums}
         if "store" in timer.timings:
             timings["store"] = timer.timings["store"]
-        return SweepResult(
+        result = SweepResult(
             protocols=protocols,
             points=points,
             seeds=seeds,
@@ -422,10 +538,23 @@ def run_sweep(
             store_misses=len(pending) if store is not None else 0,
             store_path=store.path if store is not None else None,
             point_digests=point_digests,
+            spans=spans,
+            mac_profile=profile_sums or None,
+            telemetry_path=(
+                str(telemetry.path) if telemetry is not None and telemetry.path else None
+            ),
         )
+        if telemetry is not None:
+            telemetry.close(result)
+            opened_telemetry = None
+        return result
     finally:
         if opened is not None:
             opened.close()
+        if opened_telemetry is not None:
+            # An exception escaped mid-campaign: leave the stream as-is
+            # (no `end` record -- the watcher reports it interrupted).
+            opened_telemetry.__exit__(Exception, None, None)
 
 
 def sweep(
@@ -435,6 +564,9 @@ def sweep(
     processes: int | None = None,
     chunksize: int | None = None,
     store=None,
+    telemetry=None,
+    profile: bool = False,
+    campaign: str = "sweep",
 ) -> SweepResult:
     """The canonical grid entry point: :func:`run_sweep` over a Scenario.
 
@@ -447,7 +579,14 @@ def sweep(
     if not isinstance(scenario, Scenario):
         raise TypeError(f"sweep() needs a Scenario, got {type(scenario).__name__}")
     return run_sweep(
-        scenario, points, processes=processes, chunksize=chunksize, store=store
+        scenario,
+        points,
+        processes=processes,
+        chunksize=chunksize,
+        store=store,
+        telemetry=telemetry,
+        profile=profile,
+        campaign=campaign,
     )
 
 
@@ -467,6 +606,18 @@ def sweep_manifest(result: SweepResult, name: str = "sweep") -> RunManifest:
         for m in cell.metrics:
             for key, n in m.counters.items():
                 counters[key] = counters.get(key, 0) + n
+    manifest_extra: dict = {}
+    if result.spans:
+        # Bounded straggler/per-phase digest; the full span log (already
+        # in planned-job order on result.spans) lives in the telemetry
+        # stream, which the distributed service ships unchanged.
+        manifest_extra["span_summary"] = span_summary(result.spans)
+    if result.mac_profile is not None:
+        manifest_extra["mac_profile"] = {
+            proto: dict(phases) for proto, phases in result.mac_profile.items()
+        }
+    if result.telemetry_path is not None:
+        manifest_extra["telemetry"] = result.telemetry_path
     return RunManifest(
         settings=settings_to_dict(result.points[0]),
         wall_clock_s=result.wall_clock_s,
@@ -493,6 +644,7 @@ def sweep_manifest(result: SweepResult, name: str = "sweep") -> RunManifest:
                 "hits": result.store_hits,
                 "misses": result.store_misses,
             },
+            **manifest_extra,
         },
     )
 
@@ -507,6 +659,11 @@ def bench_record(result: SweepResult, name: str = "sweep") -> dict:
     simulation-code fingerprint so the bench trajectory stays
     attributable across PRs, plus the results-store hit counts (a
     warm-store record's throughput is not comparable to a cold one's).
+
+    A fully store-served campaign reports ``slots_per_sec: null`` with
+    ``store_served: true``: no simulation ran, so a "throughput" of
+    sim-slots over SQLite-read seconds would be a wild overstatement --
+    the same reasoning behind the regression gate's bench auto-skip.
     """
     simulate_s = result.timings.get("simulate", 0.0)
     return {
@@ -531,6 +688,7 @@ def bench_record(result: SweepResult, name: str = "sweep") -> dict:
         "slots_per_sec_simulate_phase": (
             result.sim_slots / simulate_s if simulate_s > 0 else None
         ),
+        "store_served": result.store_served,
         "cache": {
             "hits": result.cache_hits,
             "misses": result.cache_misses,

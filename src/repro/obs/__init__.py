@@ -1,6 +1,7 @@
-"""repro.obs -- observability: event bus, counters, traces, manifests.
+"""repro.obs -- observability: event bus, counters, traces, manifests,
+campaign telemetry and the kernel phase profiler.
 
-Four pieces, threaded through the whole simulator stack:
+Six pieces, threaded through the whole simulator stack:
 
 * :mod:`repro.obs.events` -- the typed event bus on
   :class:`~repro.sim.kernel.Environment` (``env.obs``); near-zero cost
@@ -10,16 +11,23 @@ Four pieces, threaded through the whole simulator stack:
 * :mod:`repro.obs.trace` -- the JSONL trace writer/loader (schema v1) and
   the trace-to-``Transmission`` adapter feeding the lane diagram;
 * :mod:`repro.obs.manifest` / :mod:`repro.obs.profile` -- run provenance
-  and wall-clock phase timing.
+  and wall-clock phase timing;
+* :mod:`repro.obs.telemetry` -- the campaign-scale progress stream
+  (schema v1) behind ``repro-mac sweep --telemetry`` / ``repro-mac
+  watch``: cells done/pending, worker heartbeats, cross-worker spans;
+* :mod:`repro.obs.profiler` -- the kernel phase profiler, attributing
+  simulate-phase wall clock to MAC phases over the event bus.
 
 See ``docs/observability.md`` for the event taxonomy, trace schema and
-counter definitions.
+counter definitions, and ``docs/telemetry.md`` for the telemetry stream,
+span model and profiler phase keys.
 
 Import discipline: this ``__init__`` eagerly imports only the leaf modules
 with no simulator dependencies (``events``, ``counters``, ``profile``) --
 the kernel imports :class:`EventBus` at module load, so anything here that
-imported ``repro.sim`` back would cycle.  ``trace`` and ``manifest``
-symbols are re-exported lazily via ``__getattr__``.
+imported ``repro.sim`` back would cycle.  ``trace``, ``manifest``,
+``profiler`` and ``telemetry`` symbols are re-exported lazily via
+``__getattr__``.
 """
 
 from __future__ import annotations
@@ -45,6 +53,13 @@ __all__ = [
     "RunManifest",
     "load_manifest",
     "settings_to_dict",
+    "KernelPhaseProfiler",
+    "format_phase_profile",
+    "CampaignTelemetry",
+    "TelemetryStream",
+    "load_telemetry",
+    "render_telemetry",
+    "TELEMETRY_SCHEMA_VERSION",
 ]
 
 _TRACE_NAMES = {
@@ -56,6 +71,14 @@ _TRACE_NAMES = {
     "TRACE_SCHEMA_VERSION",
 }
 _MANIFEST_NAMES = {"RunManifest", "load_manifest", "settings_to_dict"}
+_PROFILER_NAMES = {"KernelPhaseProfiler", "format_phase_profile"}
+_TELEMETRY_NAMES = {
+    "CampaignTelemetry",
+    "TelemetryStream",
+    "load_telemetry",
+    "render_telemetry",
+    "TELEMETRY_SCHEMA_VERSION",
+}
 
 
 def __getattr__(name: str):
@@ -67,4 +90,12 @@ def __getattr__(name: str):
         from repro.obs import manifest
 
         return getattr(manifest, name)
+    if name in _PROFILER_NAMES:
+        from repro.obs import profiler
+
+        return getattr(profiler, name)
+    if name in _TELEMETRY_NAMES:
+        from repro.obs import telemetry
+
+        return getattr(telemetry, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -36,6 +36,7 @@ __all__ = [
     "META_ETYPE",
     "JsonlTraceWriter",
     "TraceRecorder",
+    "TraceEvents",
     "event_to_record",
     "record_to_event",
     "load_trace",
@@ -149,28 +150,58 @@ class TraceRecorder:
         return [e for e in self.events if e.etype == etype]
 
 
-def load_trace(source: str | Path | IO[str], include_meta: bool = False) -> list[SimEvent]:
+class TraceEvents(list):
+    """The loader's return type: a plain event list plus a tail marker.
+
+    Behaves exactly like ``list[SimEvent]`` (all existing callers keep
+    working); :attr:`truncated` is True when the file's final line was
+    partial -- the writer's process was killed between ``write`` calls --
+    and was dropped.  Everything before the tail round-trips exactly.
+    """
+
+    truncated: bool = False
+
+
+def load_trace(source: str | Path | IO[str], include_meta: bool = False) -> TraceEvents:
     """Read a JSONL trace back into :class:`SimEvent` objects.
 
     The ``trace.meta`` record is validated (schema version) and dropped
     unless *include_meta* is set.
+
+    Crash tolerance: a process killed mid-write leaves a final line with
+    no terminating newline.  Such a tail is dropped (if unparseable) and
+    surfaced as ``events.truncated`` instead of raising -- every complete
+    line before it is returned.  A malformed line *with* a terminating
+    newline is still corruption and raises :class:`ValueError`.
     """
     if isinstance(source, (str, Path)):
-        with Path(source).open("r", encoding="utf-8") as fh:
-            lines = fh.readlines()
+        text = Path(source).read_text(encoding="utf-8")
     else:
-        lines = source.readlines()
-    events: list[SimEvent] = []
+        text = source.read()
+    lines = text.split("\n")
+    unterminated_tail = bool(lines and lines[-1] != "")
+    events = TraceEvents()
     for lineno, line in enumerate(lines, start=1):
+        line_is_partial = unterminated_tail and lineno == len(lines)
         line = line.strip()
         if not line:
             continue
         try:
             record = json.loads(line)
         except json.JSONDecodeError as exc:
+            if line_is_partial:
+                events.truncated = True
+                break
             raise ValueError(f"trace line {lineno} is not valid JSON: {exc}") from None
         if not isinstance(record, dict) or "e" not in record or "t" not in record:
+            if line_is_partial:
+                events.truncated = True
+                break
             raise ValueError(f"trace line {lineno} is missing required keys ('t', 'e')")
+        if line_is_partial:
+            # Parsed and complete -- the kill landed between the record
+            # and its newline.  Keep it, but still flag the rough tail.
+            events.truncated = True
         if record["e"] == META_ETYPE:
             schema = record.get("schema")
             if schema != TRACE_SCHEMA_VERSION:

@@ -452,6 +452,11 @@ class Environment:
         #: once per environment and never replaced, so instrumented layers
         #: may cache the reference.
         self.obs = EventBus(self)
+        #: Opt-in kernel phase profiler
+        #: (:class:`repro.obs.profiler.KernelPhaseProfiler`); ``None`` by
+        #: default.  Set by ``profiler.attach(env)`` -- the profiler is a
+        #: plain bus subscriber, so a profiled run stays bit-identical.
+        self.profile = None
 
     @property
     def now(self) -> float:

@@ -11,6 +11,7 @@ from repro.cli import (
     build_parser,
     build_sweep_parser,
     build_trace_parser,
+    build_watch_parser,
     main,
 )
 from repro.experiments.config import SIMULATED_PROTOCOLS
@@ -383,3 +384,129 @@ class TestFaultsSubcommand:
         bench = json.loads((tmp_path / "BENCH_faults.json").read_text())
         assert bench["kind"] == "sweep-bench"
         assert bench["grid"]["n_jobs"] == 2 * 2 * 2
+
+
+class TestTelemetryFlagsAndWatch:
+    SWEEP_ARGS = [
+        "sweep",
+        "--axis", "nodes",
+        "--values", "12",
+        "--protocols", "BMMM,LAMM",
+        "--seeds", "2",
+        "--jobs", "1",
+        "--horizon", "500",
+        "--name", "obs",
+    ]
+
+    def test_parser_accepts_flags(self):
+        args = build_sweep_parser().parse_args(
+            ["--telemetry", "t.jsonl", "--mac-profile"]
+        )
+        assert args.telemetry == "t.jsonl" and args.mac_profile
+        args = build_faults_parser().parse_args([])
+        assert args.telemetry is None and not args.mac_profile
+
+    def test_watch_parser_defaults(self):
+        args = build_watch_parser().parse_args(["t.jsonl"])
+        assert args.stream == "t.jsonl"
+        assert not args.once and args.interval == 1.0
+
+    def test_sweep_telemetry_profile_then_watch(self, tmp_path, capsys):
+        """The CI telemetry-smoke recipe: instrumented sweep, then a
+        post-hoc `watch --once` render of the stream it wrote."""
+        from repro.obs.manifest import load_manifest
+        from repro.obs.telemetry import load_telemetry
+
+        stream_path = tmp_path / "obs.telemetry.jsonl"
+        code = main(
+            self.SWEEP_ARGS
+            + [
+                "--out", str(tmp_path),
+                "--telemetry", str(stream_path),
+                "--mac-profile",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MAC phase profile" in out
+        assert f"[telemetry {stream_path}]" in out
+
+        stream = load_telemetry(stream_path)
+        assert stream.completed and not stream.truncated
+        assert stream.meta["campaign"] == "obs"
+        # Spans reproduce the manifest's per-phase timings.
+        manifest = load_manifest(tmp_path / "obs.manifest.json")
+        simulate = sum(
+            s["dur_s"] for s in stream.spans() if s["phase"] == "simulate"
+        )
+        assert simulate == pytest.approx(manifest.timings["simulate"], rel=1e-6)
+        assert manifest.extra["span_summary"]["n_spans"] == len(stream.spans())
+        assert manifest.extra["telemetry"] == str(stream_path)
+        assert set(manifest.extra["mac_profile"]) == {"BMMM", "LAMM"}
+
+        assert main(["watch", str(stream_path), "--once"]) == 0
+        rendered = capsys.readouterr().out
+        assert "campaign 'obs'" in rendered
+        assert "completed" in rendered
+        assert "4/4 cells" in rendered
+
+    def test_watch_renders_interrupted_stream(self, tmp_path, capsys):
+        from repro.obs.telemetry import CampaignTelemetry
+
+        path = tmp_path / "t.jsonl"
+        telemetry = CampaignTelemetry(path, campaign="dead", n_jobs=5)
+        telemetry._fh.close()  # killed before any end record
+        with path.open("a") as fh:
+            fh.write('{"e": "prog')  # and mid-write on the final line
+        assert main(["watch", str(path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "interrupted" in out
+
+    def test_watch_follows_until_end(self, tmp_path, capsys):
+        from repro.obs.telemetry import CampaignTelemetry
+
+        path = tmp_path / "t.jsonl"
+        telemetry = CampaignTelemetry(path, campaign="live", n_jobs=0)
+        telemetry.close()
+        # Completed stream: follow mode renders once and exits immediately.
+        assert main(["watch", str(path)]) == 0
+        assert "completed" in capsys.readouterr().out
+
+
+class TestOneLineErrors:
+    """Satellite: user errors exit nonzero with one stderr line, no trace."""
+
+    def test_unknown_protocol_in_trace(self, capsys):
+        code = main(["trace", "figure6a", "--protocol", "NOPE"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-mac: error: unknown protocol 'NOPE'")
+        assert "Traceback" not in err
+
+    def test_unknown_protocol_in_sweep(self, capsys):
+        code = main(
+            ["sweep", "--protocols", "NOPE", "--seeds", "1", "--jobs", "1",
+             "--values", "12", "--horizon", "400"]
+        )
+        assert code == 2
+        assert "unknown protocol" in capsys.readouterr().err
+
+    def test_gate_missing_baseline(self, capsys):
+        code = main(["gate", "--baseline", "does/not/exist.json"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-mac: error:")
+        assert "does/not/exist.json" in err
+
+    def test_gate_malformed_baseline(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code = main(["gate", "--baseline", str(bad)])
+        assert code == 2
+        assert capsys.readouterr().err.startswith("repro-mac: error:")
+
+    def test_watch_missing_stream(self, capsys):
+        code = main(["watch", "does/not/exist.jsonl"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-mac: error: no telemetry stream")

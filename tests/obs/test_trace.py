@@ -92,6 +92,52 @@ class TestLoaderValidation:
         assert load_trace(io.StringIO("\n" + rec + "\n\n")) == [EVENTS[1]]
 
 
+class TestTruncatedTail:
+    """A writer killed mid-write leaves a partial, newline-less last line;
+    the loader must keep everything before it and flag the tail instead
+    of raising (same contract as the telemetry loader)."""
+
+    def _text(self):
+        return "".join(json.dumps(event_to_record(e)) + "\n" for e in EVENTS)
+
+    def test_partial_final_line_tolerated(self):
+        text = self._text()
+        last = json.dumps(event_to_record(EVENTS[-1]))
+        mangled = text + last[: len(last) // 2]  # no trailing newline
+        events = load_trace(io.StringIO(mangled))
+        assert events == EVENTS
+        assert events.truncated
+
+    def test_clean_file_not_truncated(self):
+        events = load_trace(io.StringIO(self._text()))
+        assert events == EVENTS
+        assert not events.truncated
+
+    def test_unterminated_but_parseable_final_line_kept(self):
+        # Killed between the record write and its newline: the record is
+        # whole, only the terminator is missing.  Keep it, flag the tail.
+        events = load_trace(io.StringIO(self._text().rstrip("\n")))
+        assert events == EVENTS
+        assert events.truncated
+
+    def test_partial_line_missing_keys_dropped(self):
+        mangled = self._text() + '{"e": "frame_tx"}'
+        events = load_trace(io.StringIO(mangled))
+        assert events == EVENTS
+        assert events.truncated
+
+    def test_malformed_inner_line_still_raises(self):
+        # Corruption *with* a terminating newline is not a kill signature.
+        text = self._text() + "{not json\n"
+        with pytest.raises(ValueError, match=f"line {len(EVENTS) + 1}"):
+            load_trace(io.StringIO(text))
+
+    def test_loader_returns_plain_list_behavior(self):
+        events = load_trace(io.StringIO(self._text()))
+        assert isinstance(events, list)
+        assert [e.etype for e in events] == ["frame_tx", "collision", "frame_tx"]
+
+
 class TestHelpers:
     def test_frame_type_counts(self):
         assert frame_type_counts(EVENTS) == {"RTS": 1, "DATA": 1}
