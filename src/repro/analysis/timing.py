@@ -33,7 +33,11 @@ upper bound).
 from __future__ import annotations
 
 from repro.analysis.recurrence import expected_batch_rounds
-from repro.sim.frames import DATA_SLOTS, SIGNAL_SLOTS
+from repro.phy.profile import PhyProfile
+
+# The closed forms model the paper's single-rate world: the default
+# profile's Table 2 timings (control = 1 slot, DATA = 5).
+_PHY = PhyProfile()
 
 __all__ = [
     "expected_contention_cost",
@@ -56,7 +60,7 @@ def bmw_multicast_time(n: int, contention_cost: float, overhearing: bool = False
     """Medium time for one clean BMW multicast to *n* receivers."""
     if n < 1:
         raise ValueError(f"n must be >= 1, got {n}")
-    t, d = SIGNAL_SLOTS, DATA_SLOTS
+    t, d = _PHY.signal_slots, _PHY.data_airtime(0)
     per_receiver_ctl = contention_cost + t + t  # contention + RTS + CTS
     if overhearing:
         # One full DATA/ACK exchange; the rest are suppressed by CTS.
@@ -69,7 +73,7 @@ def bmmm_multicast_time(n: int, contention_cost: float) -> float:
     contention + n RTS/CTS + DATA + n RAK/ACK."""
     if n < 1:
         raise ValueError(f"n must be >= 1, got {n}")
-    t, d = SIGNAL_SLOTS, DATA_SLOTS
+    t, d = _PHY.signal_slots, _PHY.data_airtime(0)
     return contention_cost + 2 * n * t + d + 2 * n * t
 
 

@@ -57,7 +57,8 @@ import sys
 import time
 
 from repro.experiments import figures as F
-from repro.experiments.config import SIMULATED_PROTOCOLS, SimulationSettings
+from repro.experiments.config import SimulationSettings
+from repro.mac.registry import paper_protocols
 from repro.experiments.plotting import render_figure
 from repro.experiments.report import (
     format_counters,
@@ -72,6 +73,7 @@ __all__ = [
     "build_parser",
     "build_trace_parser",
     "build_sweep_parser",
+    "build_rate_sweep_parser",
     "build_faults_parser",
     "build_gate_parser",
     "build_bench_kernel_parser",
@@ -254,9 +256,9 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--protocols",
-        default=",".join(SIMULATED_PROTOCOLS),
+        default=",".join(paper_protocols()),
         metavar="P1,P2,...",
-        help=f"protocols to run (default: {','.join(SIMULATED_PROTOCOLS)})",
+        help=f"protocols to run (default: {','.join(paper_protocols())})",
     )
     parser.add_argument(
         "--seeds", type=int, default=3, metavar="N",
@@ -387,6 +389,135 @@ def _sweep_main(argv: list[str]) -> int:
 
 
 # --------------------------------------------------------------------------
+# `repro-mac rate-sweep` -- throughput vs reliability across MCS spreads
+# --------------------------------------------------------------------------
+
+
+def build_rate_sweep_parser() -> argparse.ArgumentParser:
+    """Argument parser for the ``repro-mac rate-sweep`` subcommand."""
+    from repro.experiments.ratesweep import RATE_PROFILES, RATE_SWEEP_PROTOCOLS
+
+    parser = argparse.ArgumentParser(
+        prog="repro-mac rate-sweep",
+        description=(
+            "Rate sweep: run the same Table-2 world under widening PHY rate "
+            "tables (single-rate up to an aggressive 3-tier MCS spread) and "
+            "compare fixed-rate vs. rate-adaptive multicast -- delivered "
+            "throughput against reliability.  Writes BENCH_<name>.json."
+        ),
+    )
+    parser.add_argument(
+        "--profiles",
+        default=",".join(RATE_PROFILES),
+        metavar="P1,P2,...",
+        help=f"rate profiles to sweep (default: {','.join(RATE_PROFILES)})",
+    )
+    parser.add_argument(
+        "--protocols",
+        default=",".join(RATE_SWEEP_PROTOCOLS),
+        metavar="P1,P2,...",
+        help=f"protocols to run (default: {','.join(RATE_SWEEP_PROTOCOLS)})",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=3, metavar="N",
+        help="seeded runs per (profile, protocol) cell (default 3)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="worker processes (0 = one per CPU core, 1 = in-process; default 0)",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=None, metavar="N", help="override node count"
+    )
+    parser.add_argument(
+        "--horizon", type=int, default=None, metavar="SLOTS",
+        help="override simulation horizon at every point (smoke/CI runs)",
+    )
+    parser.add_argument(
+        "--name", default="rate", metavar="NAME",
+        help="basename for the result/manifest/BENCH files (default: rate)",
+    )
+    parser.add_argument(
+        "--out", default="results", metavar="DIR",
+        help="output directory (default results/)",
+    )
+    parser.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="content-addressed results store (SQLite); same semantics as "
+        "'repro-mac sweep --store'",
+    )
+    _add_telemetry_arguments(parser)
+    return parser
+
+
+def _rate_sweep_main(argv: list[str]) -> int:
+    from pathlib import Path
+
+    from repro.experiments.ratesweep import (
+        RATE_PROFILES,
+        rate_bench_record,
+        run_rate_sweep,
+        save_rate_bench,
+    )
+    from repro.experiments.sweep import sweep_manifest
+
+    args = build_rate_sweep_parser().parse_args(argv)
+    profile_names = [p for p in args.profiles.split(",") if p]
+    unknown = [p for p in profile_names if p not in RATE_PROFILES]
+    if unknown:
+        raise KeyError(
+            f"unknown rate profile(s) {unknown}; choose from {sorted(RATE_PROFILES)}"
+        )
+    overrides = {}
+    if args.nodes is not None:
+        overrides["n_nodes"] = args.nodes
+    if args.horizon is not None:
+        overrides["horizon"] = args.horizon
+    base = SimulationSettings(**overrides)
+    protocols = [p for p in args.protocols.split(",") if p]
+    result, names = run_rate_sweep(
+        base,
+        protocols=protocols,
+        profiles={n: RATE_PROFILES[n] for n in profile_names},
+        seeds=tuple(range(args.seeds)),
+        processes=args.jobs or None,
+        store=args.store,
+        telemetry=args.telemetry,
+        profile=args.mac_profile,
+        campaign=args.name,
+    )
+
+    record = rate_bench_record(result, names, name=args.name)
+    for cell in record["cells"]:
+        print(
+            f"== {cell['profile']:<10} {cell['protocol']:<6}"
+            f"  delivery {cell['delivery_rate']:6.3f}"
+            f"  thru {cell['delivered_per_kslot']:6.2f}/kslot"
+            f"  completion {cell['avg_completion_time']:8.1f}"
+            f"  ({cell['n_runs']} runs)"
+        )
+    print()
+    print(format_timings(result.timings, title=f"{args.name} phases"))
+    _print_execution(result)
+    _print_campaign_observability(result)
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    payload = result.as_dict()
+    payload["rate_profiles"] = names
+    result_path = out_dir / f"{args.name}.json"
+    result_path.write_text(json.dumps(payload, indent=2, default=str))
+    manifest = sweep_manifest(result, name=args.name)
+    manifest.extra.update({"kind": "rate-sweep", "rate_profiles": names})
+    manifest_path = manifest.save(out_dir / f"{args.name}.manifest.json")
+    bench_path = save_rate_bench(result, names, out_dir, name=args.name)
+    print(f"[results {result_path}]")
+    print(f"[manifest {manifest_path}]")
+    print(f"[bench {bench_path}]")
+    return 0
+
+
+# --------------------------------------------------------------------------
 # `repro-mac faults` -- degradation study over one fault axis
 # --------------------------------------------------------------------------
 
@@ -436,9 +567,9 @@ def build_faults_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--protocols",
-        default=",".join(SIMULATED_PROTOCOLS),
+        default=",".join(paper_protocols()),
         metavar="P1,P2,...",
-        help=f"protocols to run (default: {','.join(SIMULATED_PROTOCOLS)})",
+        help=f"protocols to run (default: {','.join(paper_protocols())})",
     )
     parser.add_argument(
         "--seeds", type=int, default=3, metavar="N",
@@ -884,6 +1015,7 @@ def _watch_main(argv: list[str]) -> int:
 _SUBCOMMANDS = {
     "trace": _trace_main,
     "sweep": _sweep_main,
+    "rate-sweep": _rate_sweep_main,
     "faults": _faults_main,
     "gate": _gate_main,
     "bench-kernel": _bench_kernel_main,

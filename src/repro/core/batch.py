@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from enum import Enum
 
 from repro.mac.base import MacBase, MacRequest
-from repro.sim.frames import DATA_SLOTS, FrameType, SIGNAL_SLOTS
+from repro.sim.frames import FrameType
 
 __all__ = ["BatchOutcome", "BatchResult", "batch_mode_procedure", "batch_round_airtime", "rts_duration", "rak_duration"]
 
@@ -54,37 +54,41 @@ class BatchResult:
     cts_from: frozenset[int] = frozenset()
 
 
-def rts_duration(n: int, i: int) -> int:
+def rts_duration(n: int, i: int, t_signal: int = 1, t_data: int = 5) -> int:
     """Duration field of the *i*-th RTS (1-based) in a batch of *n*
-    receivers -- the exact formula of Figure 3."""
+    receivers -- the exact formula of Figure 3.  The slot timings default
+    to Table 2's single-rate values; rate-adaptive callers pass the DATA
+    airtime of the MCS actually chosen."""
     if not 1 <= i <= n:
         raise ValueError(f"need 1 <= i <= n, got i={i}, n={n}")
     return (
-        (n - i) * SIGNAL_SLOTS  # remaining RTS frames
-        + (n - i + 1) * SIGNAL_SLOTS  # remaining CTS frames (incl. this one's)
-        + DATA_SLOTS
-        + n * (SIGNAL_SLOTS + SIGNAL_SLOTS)  # RAK + ACK per receiver
+        (n - i) * t_signal  # remaining RTS frames
+        + (n - i + 1) * t_signal  # remaining CTS frames (incl. this one's)
+        + t_data
+        + n * (t_signal + t_signal)  # RAK + ACK per receiver
     )
 
 
-def rak_duration(n: int, i: int) -> int:
+def rak_duration(n: int, i: int, t_signal: int = 1) -> int:
     """Duration field of the *i*-th RAK (1-based): the rest of the ACK
     phase."""
     if not 1 <= i <= n:
         raise ValueError(f"need 1 <= i <= n, got i={i}, n={n}")
-    return (n - i) * 2 * SIGNAL_SLOTS + SIGNAL_SLOTS
+    return (n - i) * 2 * t_signal + t_signal
 
 
-def batch_round_airtime(n: int) -> int:
+def batch_round_airtime(n: int, t_signal: int = 1, t_data: int = 5) -> int:
     """Medium time of one collision-free batch round for *n* receivers,
     excluding contention: n RTS + n CTS + DATA + n RAK + n ACK slots.
     (Figure 2's BMMM timeline.)"""
     if n < 1:
         raise ValueError(f"need n >= 1, got {n}")
-    return 2 * n * SIGNAL_SLOTS + DATA_SLOTS + 2 * n * SIGNAL_SLOTS
+    return 2 * n * t_signal + t_data + 2 * n * t_signal
 
 
-def batch_mode_procedure(mac: MacBase, req: MacRequest, polled: list[int], attempt: int):
+def batch_mode_procedure(
+    mac: MacBase, req: MacRequest, polled: list[int], attempt: int, mcs: int = 0
+):
     """Run one batch round (generator; drive with the MAC's environment).
 
     Parameters
@@ -99,6 +103,10 @@ def batch_mode_procedure(mac: MacBase, req: MacRequest, polled: list[int], attem
         BMMM, the cover set ``S'`` for LAMM.
     attempt:
         Backoff stage for the contention phase.
+    mcs:
+        MCS index for the DATA frame (RAM's rate adaptation); the RTS
+        Durations reserve the chosen rate's DATA airtime.  0 (the base
+        rate) reproduces the fixed-rate procedure exactly.
 
     Returns a :class:`BatchResult` (via the generator's return value).
     """
@@ -106,7 +114,8 @@ def batch_mode_procedure(mac: MacBase, req: MacRequest, polled: list[int], attem
         raise ValueError("batch procedure needs at least one receiver")
     env = mac.env
     obs = env.obs
-    t = SIGNAL_SLOTS
+    t = mac.config.t_signal
+    t_data = mac.config.phy.data_airtime(mcs)
     n = len(polled)
 
     req.contention_phases += 1
@@ -146,7 +155,7 @@ def batch_mode_procedure(mac: MacBase, req: MacRequest, polled: list[int], attem
             rts = mac.control(
                 FrameType.RTS,
                 ra=p,
-                duration=rts_duration(n, i),
+                duration=rts_duration(n, i, t_signal=t, t_data=t_data),
                 seq=req.seq,
                 msg_id=req.msg_id,
             )
@@ -168,7 +177,7 @@ def batch_mode_procedure(mac: MacBase, req: MacRequest, polled: list[int], attem
         # --- DATA ----------------------------------------------------------
         # The data frame is addressed to the *full* intended set; its
         # Duration covers the whole RAK/ACK phase.
-        yield mac.radio.transmit(mac.make_data(req, duration=n * 2 * t))
+        yield mac.radio.transmit(mac.make_data(req, duration=n * 2 * t, mcs=mcs))
         req.rounds += 1
 
         # --- RAK/ACK phase ---------------------------------------------------
@@ -178,7 +187,7 @@ def batch_mode_procedure(mac: MacBase, req: MacRequest, polled: list[int], attem
             rak = mac.control(
                 FrameType.RAK,
                 ra=p,
-                duration=rak_duration(n, i),
+                duration=rak_duration(n, i, t_signal=t),
                 seq=req.seq,
                 msg_id=req.msg_id,
             )

@@ -23,10 +23,12 @@ from __future__ import annotations
 
 from repro.core.batch import BatchOutcome, batch_mode_procedure
 from repro.mac.base import MacBase, MacRequest, MessageStatus
+from repro.mac.registry import register_protocol
 
 __all__ = ["BmmmMac"]
 
 
+@register_protocol("BMMM", paper_rank=3)
 class BmmmMac(MacBase):
     """The Batch Mode Multicast MAC."""
 

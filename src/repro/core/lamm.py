@@ -38,6 +38,7 @@ from repro.core.batch import BatchOutcome, batch_mode_procedure
 from repro.geometry.cover import update_uncovered
 from repro.geometry.mcs import greedy_cover_set, minimum_cover_set
 from repro.mac.base import MacBase, MacRequest, MessageStatus
+from repro.mac.registry import register_protocol
 
 __all__ = ["LammPolicy", "LammMac"]
 
@@ -65,10 +66,14 @@ class LammPolicy:
         raise ValueError(f"unknown MCS policy {self.mcs!r}")
 
 
+@register_protocol("LAMM", needs_positions=True, paper_rank=4)
 class LammMac(MacBase):
     """The Location Aware Multicast MAC."""
 
     name = "LAMM"
+    #: Prefix for the update/inference counters and obs events; the
+    #: rate-adaptive subclass (RAM) swaps in its own.
+    _counter_prefix = "lamm"
 
     def __init__(
         self,
@@ -106,6 +111,14 @@ class LammMac(MacBase):
                 known.add(p)
         return known, members - known, positions
 
+    # -- rate choice ---------------------------------------------------------------
+
+    def _choose_mcs(self, known, unknown, positions, radius) -> int:
+        """MCS index for this round's DATA frame.  LAMM is fixed-rate:
+        always the base rate.  RAM overrides this with the worst-receiver
+        rule."""
+        return 0
+
     # -- sender protocol -----------------------------------------------------------
 
     def serve_group(self, req: MacRequest):
@@ -114,6 +127,7 @@ class LammMac(MacBase):
         #: Consecutive silent DATA rounds per receiver (give-up cap).
         fails: dict[int, int] = {}
         attempt = 0
+        pfx = self._counter_prefix
         while remaining:
             if req.expired(self.env.now):
                 return MessageStatus.TIMED_OUT
@@ -121,7 +135,8 @@ class LammMac(MacBase):
             cover = self.policy.cover_set(known, positions, radius)
             # Members without location knowledge are polled directly.
             polled = sorted(cover | unknown)
-            result = yield from batch_mode_procedure(self, req, polled, attempt)
+            mcs = self._choose_mcs(known, unknown, positions, radius)
+            result = yield from batch_mode_procedure(self, req, polled, attempt, mcs=mcs)
             if result.outcome is BatchOutcome.EXPIRED:
                 return MessageStatus.TIMED_OUT
             if result.outcome is BatchOutcome.RADIO_BUSY:
@@ -140,12 +155,12 @@ class LammMac(MacBase):
             req.acked |= inferred
             next_remaining = next_known | (unknown - acked)
             counters = self.channel.counters
-            counters.inc("lamm.updates", node=self.node_id)
+            counters.inc(f"{pfx}.updates", node=self.node_id)
             if inferred:
                 # An UPDATE step that shrank the working set beyond the
                 # explicit ACKs -- Theorem 3's coverage argument at work.
-                counters.inc("lamm.update_shrinks", node=self.node_id)
-                counters.inc("lamm.inferred", node=self.node_id, n=len(inferred))
+                counters.inc(f"{pfx}.update_shrinks", node=self.node_id)
+                counters.inc(f"{pfx}.inferred", node=self.node_id, n=len(inferred))
                 # Theorem 3 is exact under the model it assumes (true
                 # positions, unit-disk loss).  Check each inference against
                 # the channel's ground truth: a member declared covered that
@@ -156,11 +171,11 @@ class LammMac(MacBase):
                 )
                 if violated:
                     counters.inc(
-                        "lamm.coverage_violations", node=self.node_id, n=len(violated)
+                        f"{pfx}.coverage_violations", node=self.node_id, n=len(violated)
                     )
                     if self.env.obs.active:
                         self.env.obs.emit(
-                            "lamm_coverage_violation",
+                            f"{pfx}_coverage_violation",
                             node=self.node_id,
                             msg_id=req.msg_id,
                             members=sorted(violated),
@@ -176,7 +191,7 @@ class LammMac(MacBase):
             obs = self.env.obs
             if obs.active:
                 obs.emit(
-                    "lamm_update",
+                    f"{pfx}_update",
                     node=self.node_id,
                     msg_id=req.msg_id,
                     polled=list(polled),

@@ -1,22 +1,38 @@
-"""Simulation settings (Table 2) and the protocol registry."""
+"""Simulation settings (Table 2) and the protocol registry shims.
+
+Protocol classes register themselves via
+:func:`repro.mac.registry.register_protocol`; importing this module pulls
+in every protocol module (in the classic ordering) so the registry is
+complete, and re-exports the historical ``PROTOCOLS`` /
+``SIMULATED_PROTOCOLS`` / ``protocol_class`` surface as thin shims over
+it.  New code should query :mod:`repro.mac.registry` directly for
+capability flags (``needs_positions``, ``rate_adaptive``).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from typing import Any, Type
 
-from repro.core.bmmm import BmmmMac
 from repro.faults.plan import FaultPlan
-from repro.core.lamm import LammMac
 from repro.mac.base import MacBase
 from repro.mac.contention import ContentionParams
-from repro.protocols.bmw import BmwMac
-from repro.protocols.bsma import BsmaMac
-from repro.protocols.lacs import LacsMulticastMac
-from repro.protocols.leader import LeaderBasedMac
-from repro.protocols.plain import PlainMulticastMac
-from repro.protocols.tang_gerla import TangGerlaMac
+from repro.mac.registry import paper_protocols, protocol_info, registered_protocols
+from repro.phy.profile import PhyProfile
 from repro.workload.generator import TrafficMix
+
+# Importing the protocol modules registers them; the import order fixes
+# the classic PROTOCOLS iteration order (802.11 first, paper four in the
+# middle, extensions last).
+import repro.protocols.plain  # noqa: F401,E402
+import repro.protocols.tang_gerla  # noqa: F401,E402
+import repro.protocols.bsma  # noqa: F401,E402
+import repro.protocols.bmw  # noqa: F401,E402
+import repro.core.bmmm  # noqa: F401,E402
+import repro.core.lamm  # noqa: F401,E402
+import repro.protocols.lacs  # noqa: F401,E402
+import repro.protocols.leader  # noqa: F401,E402
+import repro.protocols.ram  # noqa: F401,E402
 
 __all__ = ["SimulationSettings", "PROTOCOLS", "SIMULATED_PROTOCOLS", "protocol_class"]
 
@@ -28,8 +44,8 @@ class SimulationSettings:
     =======================  ==================
     Parameter                Table 2 value
     =======================  ==================
-    Signal time              1 slot (frames.py)
-    Data transmission time   5 slots (frames.py)
+    Signal time              1 slot (phy profile)
+    Data transmission time   5 slots (phy profile)
     Simulation time          10000 slots
     Time out                 100 slots
     Radius                   0.2
@@ -62,34 +78,35 @@ class SimulationSettings:
     #: location error, retry caps); the default plan is all-zero and
     #: contractually free (see repro.faults).
     faults: FaultPlan = field(default_factory=FaultPlan)
+    #: The PHY rate table and SNR->MCS mapping; the default single-rate
+    #: profile is Table 2's 1-slot signal / 5-slot data world.
+    phy: PhyProfile = field(default_factory=PhyProfile)
 
     def with_(self, **changes: Any) -> "SimulationSettings":
         """A modified copy (sweep helper)."""
         return replace(self, **changes)
 
 
+#: The classic presentation order (802.11 first, the paper's four in the
+#: middle, extensions last); registration order can differ when another
+#: module imported a protocol before this one ran.
+_CLASSIC_ORDER = ("802.11", "TangGerla", "BSMA", "BMW", "BMMM", "LAMM", "LACS", "LBP", "RAM")
+
 #: Every protocol in this package (name -> (class, extra MAC kwargs)).
+#: Shim over :mod:`repro.mac.registry`, kept for compatibility.
 PROTOCOLS: dict[str, tuple[Type[MacBase], dict[str, Any]]] = {
-    "802.11": (PlainMulticastMac, {}),
-    "TangGerla": (TangGerlaMac, {}),
-    "BSMA": (BsmaMac, {}),
-    "BMW": (BmwMac, {}),
-    "BMMM": (BmmmMac, {}),
-    "LAMM": (LammMac, {}),
-    # Future-work extension (paper's conclusion): 802.11 multicast with
-    # location-aware exposed-terminal relief.
-    "LACS": (LacsMulticastMac, {}),
-    # Related-work baseline (paper reference [13]): leader-based ACKs.
-    "LBP": (LeaderBasedMac, {}),
+    name: (protocol_info(name).cls, dict(protocol_info(name).mac_kwargs))
+    for name in (
+        *(n for n in _CLASSIC_ORDER if n in registered_protocols()),
+        *(n for n in registered_protocols() if n not in _CLASSIC_ORDER),
+    )
 }
 
 #: The four protocols the paper simulates, in its plotting order.
-SIMULATED_PROTOCOLS = ("BMW", "BSMA", "BMMM", "LAMM")
+SIMULATED_PROTOCOLS = paper_protocols()
 
 
 def protocol_class(name: str) -> tuple[Type[MacBase], dict[str, Any]]:
     """Resolve a registry name to (MAC class, extra constructor kwargs)."""
-    try:
-        return PROTOCOLS[name]
-    except KeyError:
-        raise KeyError(f"unknown protocol {name!r}; choose from {sorted(PROTOCOLS)}") from None
+    info = protocol_info(name)
+    return info.cls, dict(info.mac_kwargs)

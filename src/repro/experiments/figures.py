@@ -18,7 +18,8 @@ import numpy as np
 
 from repro.analysis.contention import table1_row
 from repro.analysis.recurrence import figure5_series
-from repro.experiments.config import SIMULATED_PROTOCOLS, SimulationSettings, protocol_class
+from repro.experiments.config import SimulationSettings, protocol_class
+from repro.mac.registry import paper_protocols
 from repro.experiments.runner import RawRun, run_raw
 from repro.mac.base import MessageKind
 from repro.sim.frames import FrameType
@@ -198,7 +199,7 @@ def _sweep(
     xs_from: str,
     metric: str,
     seeds: Iterable[int],
-    protocols: Sequence[str] = SIMULATED_PROTOCOLS,
+    protocols: Sequence[str] | None = None,
     extra_metrics: Sequence[str] = (),
     processes: int | None = 1,
 ) -> FigureResult:
@@ -216,6 +217,8 @@ def _sweep(
     from repro.experiments.scenario import Scenario
     from repro.experiments.sweep import run_sweep
 
+    if protocols is None:
+        protocols = paper_protocols()
     seeds = list(seeds)
     scenario = Scenario(
         settings=settings_list[0], protocols=tuple(protocols), seeds=tuple(seeds)
@@ -316,7 +319,7 @@ def figure8(
     settings: SimulationSettings | None = None,
     seeds: Iterable[int] = range(3),
     thresholds: Sequence[float] = THRESHOLD_SWEEP,
-    protocols: Sequence[str] = SIMULATED_PROTOCOLS,
+    protocols: Sequence[str] | None = None,
 ) -> FigureResult:
     """Figure 8: successful delivery rate vs reliability threshold.
 
@@ -324,6 +327,8 @@ def figure8(
     simulated once and re-scored per threshold.
     """
     st = settings or SimulationSettings()
+    if protocols is None:
+        protocols = paper_protocols()
     seeds = list(seeds)
     raws: dict[str, list[RawRun]] = {}
     for proto in protocols:

@@ -161,6 +161,7 @@ def build_network(
             contention=settings.contention,
             timeout_slots=settings.timeout_slots,
             receiver_give_up=settings.faults.receiver_give_up,
+            phy=settings.phy,
         ),
         mac_kwargs=mac_kwargs,
         record_transmissions=record_transmissions,

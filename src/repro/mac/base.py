@@ -11,8 +11,9 @@ with the other IEEE 802.11 protocols".
 
 Timing conventions (see ``contention.py`` for the slot model):
 
-* control frames take :data:`~repro.sim.frames.SIGNAL_SLOTS` = 1 slot, DATA
-  takes :data:`~repro.sim.frames.DATA_SLOTS` = 5 (Table 2);
+* slot timings come from the :class:`~repro.phy.profile.PhyProfile` on
+  :class:`MacConfig`; the default profile is Table 2's single-rate world
+  (control frames 1 slot, DATA 5 slots);
 * SIFS is sub-slot: a response starts on the very slot boundary where the
   eliciting frame's reception completes;
 * a station mid-procedure (between its own RTS and the final ACK) does not
@@ -30,8 +31,9 @@ from enum import Enum
 
 from repro.mac.contention import Contender, ContentionParams
 from repro.mac.nav import Nav
+from repro.phy.profile import PhyProfile
 from repro.sim.channel import Channel
-from repro.sim.frames import DATA_SLOTS, Frame, FrameType, GROUP_ADDR, SIGNAL_SLOTS
+from repro.sim.frames import Frame, FrameType, GROUP_ADDR
 from repro.sim.kernel import Environment
 
 __all__ = ["MessageKind", "MessageStatus", "MacRequest", "MacConfig", "MacBase"]
@@ -132,14 +134,22 @@ class MacConfig:
     #: ``faults.receiver_give_ups``.  0 = never give up (paper behaviour).
     #: Wired from ``FaultPlan.receiver_give_up`` by the experiment runner.
     receiver_give_up: int = 0
+    #: The PHY rate table in force; the default is Table 2's single-rate
+    #: world.  Wired from ``SimulationSettings.phy`` by the experiment
+    #: runner; :class:`~repro.sim.network.Network` hands the same profile
+    #: to the channel so MAC timing and decode rules always agree.
+    phy: PhyProfile = field(default_factory=PhyProfile)
 
     @property
     def t_signal(self) -> int:
-        return SIGNAL_SLOTS
+        """Control-frame airtime in slots (rate adaptation is DATA-only)."""
+        return self.phy.signal_slots
 
     @property
     def t_data(self) -> int:
-        return DATA_SLOTS
+        """Base-rate DATA airtime in slots; rate-adaptive senders pass an
+        explicit MCS to :meth:`PhyProfile.data_airtime` instead."""
+        return self.phy.data_slots[0]
 
 
 class MacBase:
@@ -311,7 +321,7 @@ class MacBase:
 
     # -- frame construction helpers -----------------------------------------------------
 
-    def make_data(self, req: MacRequest, duration: int) -> Frame:
+    def make_data(self, req: MacRequest, duration: int, mcs: int = 0) -> Frame:
         ra = next(iter(req.dests)) if req.kind is MessageKind.UNICAST else GROUP_ADDR
         return Frame(
             FrameType.DATA,
@@ -321,6 +331,8 @@ class MacBase:
             seq=req.seq,
             group=req.dests,
             msg_id=req.msg_id,
+            airtime_slots=self.config.phy.data_airtime(mcs),
+            mcs=mcs,
         )
 
     def control(
@@ -342,6 +354,7 @@ class MacBase:
             msg_id=msg_id,
             info=info,
             group=group,
+            airtime_slots=self.config.phy.signal_slots,
         )
 
     def _respond(self, frame: Frame) -> bool:
@@ -466,7 +479,7 @@ class MacBase:
         cts = self.control(
             FrameType.CTS,
             ra=rts.src,
-            duration=max(rts.duration - SIGNAL_SLOTS, 0),
+            duration=max(rts.duration - self.config.t_signal, 0),
             seq=rts.seq,
             msg_id=rts.msg_id,
         )
@@ -482,7 +495,7 @@ class MacBase:
         ack = self.control(
             FrameType.ACK,
             ra=rak.src,
-            duration=max(rak.duration - SIGNAL_SLOTS, 0),
+            duration=max(rak.duration - self.config.t_signal, 0),
             seq=rak.seq,
             msg_id=rak.msg_id,
         )
@@ -515,7 +528,7 @@ class MacBase:
             self._busy_sender = True
             try:
                 # RTS reserves CTS + DATA + ACK.
-                nav_rts = t + DATA_SLOTS + t
+                nav_rts = t + self.config.t_data + t
                 yield self.radio.transmit(
                     self.control(FrameType.RTS, ra=dest, duration=nav_rts, seq=req.seq, msg_id=req.msg_id)
                 )

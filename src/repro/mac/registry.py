@@ -1,0 +1,144 @@
+"""The protocol registry: names, classes and capability flags.
+
+Historically ``repro.experiments.config`` kept a hand-written
+``PROTOCOLS`` dict and a separate hard-coded ``SIMULATED_PROTOCOLS``
+tuple, and every consumer (CLI defaults, figures, sweeps) filtered on
+those literal name tuples.  Protocols now register *themselves* with the
+:func:`register_protocol` class decorator, declaring what they need and
+what they can do:
+
+* ``needs_positions`` -- the protocol reads station coordinates (LAMM's
+  cover geometry, LACS's exposed-terminal relief, LBP/RAM's
+  nearest-member leader election); a deployment without location
+  knowledge cannot run it.
+* ``rate_adaptive`` -- the protocol chooses a per-transmission MCS from
+  the :class:`~repro.phy.profile.PhyProfile` rate table (RAM); fixed-rate
+  protocols always transmit DATA at the base rate.
+* ``paper_rank`` -- position in the source paper's evaluation (Figure
+  plotting order); ``None`` for protocols outside its four-way
+  comparison.
+
+``repro.experiments.config`` re-exports the classic ``PROTOCOLS`` /
+``SIMULATED_PROTOCOLS`` / ``protocol_class`` surface as thin shims over
+this registry, so nothing downstream had to move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, TypeVar
+
+__all__ = [
+    "ProtocolInfo",
+    "register_protocol",
+    "protocol_info",
+    "registered_protocols",
+    "paper_protocols",
+]
+
+_MacClass = TypeVar("_MacClass", bound=type)
+
+
+@dataclass(frozen=True)
+class ProtocolInfo:
+    """One registry row: the class, its construction kwargs, its flags."""
+
+    name: str
+    cls: type
+    #: Extra keyword arguments for the MAC constructor (e.g. a policy).
+    mac_kwargs: dict[str, Any] = field(default_factory=dict)
+    #: Reads station coordinates (cover sets, leader election, ...).
+    needs_positions: bool = False
+    #: Chooses a per-transmission MCS from the PhyProfile rate table.
+    rate_adaptive: bool = False
+    #: 1-based position in the paper's four-protocol evaluation, or None.
+    paper_rank: int | None = None
+
+
+_REGISTRY: dict[str, ProtocolInfo] = {}
+
+
+def register_protocol(
+    name: str,
+    *,
+    needs_positions: bool = False,
+    rate_adaptive: bool = False,
+    paper_rank: int | None = None,
+    **mac_kwargs: Any,
+) -> Callable[[_MacClass], _MacClass]:
+    """Class decorator registering a :class:`~repro.mac.base.MacBase`
+    subclass under *name* with its capability flags.
+
+    Registration is idempotent for the same class (module re-imports),
+    but a second class claiming an existing name is a programming error
+    and raises.
+    """
+
+    def decorate(cls: _MacClass) -> _MacClass:
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing.cls is not cls:
+            raise ValueError(
+                f"protocol name {name!r} already registered to "
+                f"{existing.cls.__name__}; cannot rebind it to {cls.__name__}"
+            )
+        _REGISTRY[name] = ProtocolInfo(
+            name=name,
+            cls=cls,
+            mac_kwargs=dict(mac_kwargs),
+            needs_positions=needs_positions,
+            rate_adaptive=rate_adaptive,
+            paper_rank=paper_rank,
+        )
+        return cls
+
+    return decorate
+
+
+def _ensure_loaded() -> None:
+    # Importing the experiment config imports every protocol module, each
+    # of which registers itself; after that the registry is complete.
+    # Lazy so `import repro.mac.registry` alone stays cheap and so the
+    # protocol modules can import this one without a cycle.
+    import repro.experiments.config  # noqa: F401
+
+
+def protocol_info(name: str) -> ProtocolInfo:
+    """The registry row for *name* (loads the registry on first use)."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown protocol {name!r}; choose from {sorted(_REGISTRY)}"
+        ) from None
+
+
+def registered_protocols(
+    *,
+    needs_positions: bool | None = None,
+    rate_adaptive: bool | None = None,
+    paper: bool | None = None,
+) -> tuple[str, ...]:
+    """Registered names, optionally filtered on capability flags.
+
+    Each keyword of ``None`` (the default) means "don't filter on this";
+    ``paper`` filters on membership in the paper's evaluation.
+    """
+    _ensure_loaded()
+    out = []
+    for name, info in _REGISTRY.items():
+        if needs_positions is not None and info.needs_positions != needs_positions:
+            continue
+        if rate_adaptive is not None and info.rate_adaptive != rate_adaptive:
+            continue
+        if paper is not None and (info.paper_rank is not None) != paper:
+            continue
+        out.append(name)
+    return tuple(out)
+
+
+def paper_protocols() -> tuple[str, ...]:
+    """The protocols of the paper's evaluation, in its plotting order."""
+    _ensure_loaded()
+    ranked = [info for info in _REGISTRY.values() if info.paper_rank is not None]
+    return tuple(info.name for info in sorted(ranked, key=lambda i: i.paper_rank))

@@ -125,6 +125,36 @@ class UnitDiskPropagation:
             self.interferer_lists = self.neighbor_lists
         else:
             self.interferer_lists = [list(s) for s in self.interferers]
+        # Per-profile MCS tables are derived from power_rows, so any
+        # topology change (mobility) invalidates them.
+        self._link_mcs_cache: dict = {}
+
+    def link_mcs(self, profile) -> list[list[int]]:
+        """Per-link fastest decodable MCS under *profile*
+        (a :class:`~repro.phy.profile.PhyProfile`).
+
+        ``link_mcs(profile)[sender][receiver]`` is the highest MCS index
+        whose received power requirement the link clears (thresholds from
+        :meth:`PhyProfile.power_thresholds` against ``power_rows``), or
+        ``-1`` when the receiver is outside decode range entirely.
+        Memoised per profile; rebuilt when the topology moves.
+        """
+        cached = self._link_mcs_cache.get(profile)
+        if cached is not None:
+            return cached
+        thresholds = profile.power_thresholds(self.radius, self.eta)
+        top = len(thresholds) - 1
+        table: list[list[int]] = []
+        for row in self.power_rows:
+            out = []
+            for p in row:
+                m = top
+                while m >= 0 and p < thresholds[m]:
+                    m -= 1
+                out.append(m)
+            table.append(out)
+        self._link_mcs_cache[profile] = table
+        return table
 
     @property
     def n_nodes(self) -> int:

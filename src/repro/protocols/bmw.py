@@ -22,7 +22,8 @@ number; the RECEIVE BUFFER is the ``received_data`` set every MAC keeps.
 from __future__ import annotations
 
 from repro.mac.base import MacBase, MacRequest, MessageStatus
-from repro.sim.frames import DATA_SLOTS, Frame, FrameType, SIGNAL_SLOTS
+from repro.mac.registry import register_protocol
+from repro.sim.frames import Frame, FrameType
 
 __all__ = ["BmwMac"]
 
@@ -31,6 +32,7 @@ HAVE = "have"
 NEED = "need"
 
 
+@register_protocol("BMW", paper_rank=1)
 class BmwMac(MacBase):
     """BMW: per-neighbor reliable unicast rounds with overhearing.
 
@@ -46,7 +48,7 @@ class BmwMac(MacBase):
         self.overhear_group_data = overhearing
 
     def serve_group(self, req: MacRequest):
-        t = SIGNAL_SLOTS
+        t = self.config.t_signal
         # Serve the NEIGHBOR list in deterministic (address) order.
         for dest in sorted(req.dests):
             attempt = 0
@@ -64,7 +66,7 @@ class BmwMac(MacBase):
                     rts = self.control(
                         FrameType.RTS,
                         ra=dest,
-                        duration=t + DATA_SLOTS + t,
+                        duration=t + self.config.t_data + t,
                         seq=req.seq,
                         msg_id=req.msg_id,
                     )
@@ -95,6 +97,7 @@ class BmwMac(MacBase):
                         seq=req.seq,
                         group=req.dests,
                         msg_id=req.msg_id,
+                        airtime_slots=self.config.t_data,
                     )
                     yield self.radio.transmit(data)
                     req.rounds += 1
@@ -127,7 +130,7 @@ class BmwMac(MacBase):
         cts = self.control(
             FrameType.CTS,
             ra=rts.src,
-            duration=max(rts.duration - SIGNAL_SLOTS, 0),
+            duration=max(rts.duration - self.config.t_signal, 0),
             seq=rts.seq,
             msg_id=rts.msg_id,
             info=HAVE if have else NEED,

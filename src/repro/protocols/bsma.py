@@ -18,22 +18,27 @@ receivers are still missing the data -- BSMA is not logically reliable.
 from __future__ import annotations
 
 from repro.mac.base import MacBase, MacRequest, MessageStatus
-from repro.sim.frames import DATA_SLOTS, Frame, FrameType, GROUP_ADDR, SIGNAL_SLOTS
+from repro.mac.registry import register_protocol
+from repro.sim.frames import Frame, FrameType, GROUP_ADDR
 
 __all__ = ["BsmaMac"]
 
 
+@register_protocol("BSMA", paper_rank=2)
 class BsmaMac(MacBase):
     """BSMA: broadcast RTS/CTS plus NAK-based recovery."""
 
     name = "BSMA"
 
-    #: Receiver-side wait between its CTS and the expected end of DATA:
-    #: one slot for the sender to process the CTS window, five for DATA.
-    WAIT_FOR_DATA = SIGNAL_SLOTS + DATA_SLOTS
+    @property
+    def wait_for_data(self) -> int:
+        """Receiver-side wait between its CTS and the expected end of DATA:
+        one signal slot for the sender to process the CTS window, plus the
+        base-rate DATA airtime (profile-derived; Table 2: 1 + 5)."""
+        return self.config.t_signal + self.config.t_data
 
     def serve_group(self, req: MacRequest):
-        t = SIGNAL_SLOTS
+        t = self.config.t_signal
         attempt = 0
         while True:
             req.contention_phases += 1
@@ -49,7 +54,7 @@ class BsmaMac(MacBase):
                 rts = self.control(
                     FrameType.RTS,
                     ra=GROUP_ADDR,
-                    duration=t + DATA_SLOTS + t,
+                    duration=t + self.config.t_data + t,
                     seq=req.seq,
                     msg_id=req.msg_id,
                     group=req.dests,
@@ -92,7 +97,7 @@ class BsmaMac(MacBase):
         cts = self.control(
             FrameType.CTS,
             ra=rts.src,
-            duration=max(rts.duration - SIGNAL_SLOTS, 0),
+            duration=max(rts.duration - self.config.t_signal, 0),
             seq=rts.seq,
             msg_id=rts.msg_id,
         )
@@ -104,7 +109,7 @@ class BsmaMac(MacBase):
 
     def _nak_watchdog(self, sender: int, seq: int, msg_id: int | None):
         """Transmit a NAK if the promised data frame never arrives."""
-        yield self.env.timeout(self.WAIT_FOR_DATA)
+        yield self.env.timeout(self.wait_for_data)
         if (sender, seq) in self.received_data:
             return
         if self.radio.is_transmitting:

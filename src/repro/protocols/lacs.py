@@ -19,11 +19,13 @@ from __future__ import annotations
 
 from repro.mac.base import MacRequest
 from repro.mac.exposed import ExposedAwareContender
+from repro.mac.registry import register_protocol
 from repro.protocols.plain import PlainMulticastMac
 
 __all__ = ["LacsMulticastMac"]
 
 
+@register_protocol("LACS", needs_positions=True)
 class LacsMulticastMac(PlainMulticastMac):
     """802.11 multicast with location-aware exposed-terminal relief."""
 

@@ -34,11 +34,13 @@ suite (the paper lists it as related work).
 from __future__ import annotations
 
 from repro.mac.base import MacBase, MacRequest, MessageStatus
-from repro.sim.frames import DATA_SLOTS, Frame, FrameType, SIGNAL_SLOTS
+from repro.mac.registry import register_protocol
+from repro.sim.frames import Frame, FrameType
 
 __all__ = ["LeaderBasedMac"]
 
 
+@register_protocol("LBP", needs_positions=True)
 class LeaderBasedMac(MacBase):
     """Leader-based reliable multicast (Kuri & Kasera [13])."""
 
@@ -50,7 +52,7 @@ class LeaderBasedMac(MacBase):
         return min(dests, key=lambda d: (prop.distances[self.node_id, d], d))
 
     def serve_group(self, req: MacRequest):
-        t = SIGNAL_SLOTS
+        t = self.config.t_signal
         leader = self._elect_leader(req.dests)
         attempt = 0
         while True:
@@ -69,7 +71,7 @@ class LeaderBasedMac(MacBase):
                 rts = self.control(
                     FrameType.RTS,
                     ra=leader,
-                    duration=t + DATA_SLOTS + t,
+                    duration=t + self.config.t_data + t,
                     seq=req.seq,
                     msg_id=req.msg_id,
                     group=req.dests,
@@ -113,7 +115,7 @@ class LeaderBasedMac(MacBase):
             cts = self.control(
                 FrameType.CTS,
                 ra=rts.src,
-                duration=max(rts.duration - SIGNAL_SLOTS, 0),
+                duration=max(rts.duration - self.config.t_signal, 0),
                 seq=rts.seq,
                 msg_id=rts.msg_id,
             )
@@ -130,11 +132,14 @@ class LeaderBasedMac(MacBase):
                 name=f"lbp-nak-{self.node_id}",
             )
 
-    #: Slots from hearing the RTS to the ACK/NAK slot: CTS + DATA.
-    _REPLY_DELAY = SIGNAL_SLOTS + DATA_SLOTS
+    @property
+    def _reply_delay(self) -> int:
+        """Slots from hearing the RTS to the ACK/NAK slot: CTS + DATA
+        (profile-derived; Table 2: 1 + 5)."""
+        return self.config.t_signal + self.config.t_data
 
     def _leader_ack(self, sender: int, seq: int, msg_id):
-        yield self.env.timeout(self._REPLY_DELAY)
+        yield self.env.timeout(self._reply_delay)
         if self.data_from.get(sender) != seq:
             return  # data missed: stay silent (members will NAK)
         if self.radio.is_transmitting:
@@ -143,7 +148,7 @@ class LeaderBasedMac(MacBase):
         self.radio.transmit(ack)
 
     def _nak_watchdog(self, sender: int, seq: int, msg_id):
-        yield self.env.timeout(self._REPLY_DELAY)
+        yield self.env.timeout(self._reply_delay)
         if self.data_from.get(sender) == seq:
             return  # got the data: stay silent
         if self.radio.is_transmitting:

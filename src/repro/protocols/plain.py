@@ -16,10 +16,12 @@ this class simply makes it the only group service.
 from __future__ import annotations
 
 from repro.mac.base import MacBase, MacRequest
+from repro.mac.registry import register_protocol
 
 __all__ = ["PlainMulticastMac"]
 
 
+@register_protocol("802.11")
 class PlainMulticastMac(MacBase):
     """The 802.11 basic-access multicast (no recovery)."""
 

@@ -16,18 +16,20 @@ intended receiver has received the data" -- Section 3).
 from __future__ import annotations
 
 from repro.mac.base import MacBase, MacRequest, MessageStatus
-from repro.sim.frames import DATA_SLOTS, FrameType, GROUP_ADDR, SIGNAL_SLOTS
+from repro.mac.registry import register_protocol
+from repro.sim.frames import FrameType, GROUP_ADDR
 
 __all__ = ["TangGerlaMac"]
 
 
+@register_protocol("TangGerla")
 class TangGerlaMac(MacBase):
     """MAC-layer broadcast support from [19]: broadcast RTS / colliding CTS."""
 
     name = "TangGerla"
 
     def serve_group(self, req: MacRequest):
-        t = SIGNAL_SLOTS
+        t = self.config.t_signal
         attempt = 0
         while True:
             req.contention_phases += 1
@@ -43,7 +45,7 @@ class TangGerlaMac(MacBase):
                 rts = self.control(
                     FrameType.RTS,
                     ra=GROUP_ADDR,
-                    duration=t + DATA_SLOTS,
+                    duration=t + self.config.t_data,
                     seq=req.seq,
                     msg_id=req.msg_id,
                     group=req.dests,

@@ -9,7 +9,7 @@ from repro.sim.kernel import (
     Process,
     Timeout,
 )
-from repro.sim.frames import DATA_SLOTS, Frame, FrameType, GROUP_ADDR, SIGNAL_SLOTS
+from repro.sim.frames import Frame, FrameType, GROUP_ADDR
 from repro.sim.channel import Channel, ChannelStats, Transmission
 from repro.sim.radio import Radio
 
@@ -21,6 +21,11 @@ def __getattr__(name):
         from repro.sim.network import Network
 
         return Network
+    if name in ("SIGNAL_SLOTS", "DATA_SLOTS"):
+        # Deprecated re-export; the frames module issues the warning.
+        from repro.sim import frames
+
+        return getattr(frames, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [

@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING
 
 from repro.obs.counters import Counters
 from repro.phy.capture import CaptureModel, NoCapture
+from repro.phy.profile import PhyProfile
 from repro.phy.propagation import UnitDiskPropagation
 from repro.sim.frames import Frame, FrameType
 from repro.sim.kernel import Environment, Event, PRIORITY_DELIVERY
@@ -100,6 +101,9 @@ class ChannelStats:
     captures: int = 0
     frame_errors: int = 0
     half_duplex_losses: int = 0
+    #: Frames heard at a receiver whose link does not sustain the frame's
+    #: MCS (multi-rate profiles only; always 0 at the base rate).
+    rate_losses: int = 0
     #: msg_id -> every station that decoded the DATA frame (any retry,
     #: capture included; bystanders overhearing it count too -- intersect
     #: with the request's intended set when scoring).
@@ -136,6 +140,13 @@ class Channel:
         collision resolution.
     rng:
         Source for capture and frame-error draws (``random.Random``).
+    phy:
+        The :class:`~repro.phy.profile.PhyProfile` in force.  With a
+        multi-rate profile, a frame transmitted at MCS ``m > 0`` is only
+        decodable at receivers whose link sustains ``m`` (see
+        :meth:`UnitDiskPropagation.link_mcs`); it still interferes at
+        every audible receiver.  The default single-rate profile never
+        takes the check.
     """
 
     def __init__(
@@ -146,6 +157,7 @@ class Channel:
         frame_error_rate: float = 0.0,
         rng: random.Random | None = None,
         record_transmissions: bool = False,
+        phy: PhyProfile | None = None,
     ):
         if not 0.0 <= frame_error_rate < 1.0:
             raise ValueError(f"frame_error_rate must be in [0, 1), got {frame_error_rate}")
@@ -153,6 +165,7 @@ class Channel:
         self.propagation = propagation
         self.capture = capture if capture is not None else NoCapture()
         self.frame_error_rate = frame_error_rate
+        self.phy = phy if phy is not None else PhyProfile()
         self.rng = rng if rng is not None else random.Random(0)
         self.radios: dict[int, Radio] = {}
         self.stats = ChannelStats()
@@ -178,12 +191,13 @@ class Channel:
         #: when *record_transmissions* is set, to keep long runs lean.
         self.record_transmissions = record_transmissions
         self.tx_log: list[Transmission] = []
-        # Frames can in principle be longer than DATA_SLOTS if a user defines
-        # new types; track the longest airtime among frames *still in
-        # flight* (a multiset keyed by airtime) so the prune horizon
-        # tightens again once a long frame lands, instead of ratcheting
-        # wider for the rest of the run.  Floor of 1.0 keeps the horizon
-        # strictly behind ``now`` even on a silent channel.
+        # Airtimes are heterogeneous: multi-rate profiles mix short and
+        # long DATA frames freely (and users can define longer types).
+        # Track the longest airtime among frames *still in flight* (a
+        # multiset keyed by airtime) so the prune horizon tightens again
+        # once a long frame lands, instead of ratcheting wider for the
+        # rest of the run.  Floor of 1.0 keeps the horizon strictly
+        # behind ``now`` even on a silent channel.
         self._max_airtime = 1.0
         self._airtime_counts: dict[float, int] = {}
 
@@ -416,6 +430,27 @@ class Channel:
                         src=tx.sender,
                     )
                 return
+
+        # Rate gate: a frame at MCS m > 0 carries more bits per slot than
+        # this link's SNR sustains -- the receiver hears energy it cannot
+        # demodulate.  Decided from ground-truth positions (link_mcs), like
+        # collisions; resolved *before* any RNG draw so the default base
+        # rate (mcs == 0, branch never taken) stays bit-identical.  The
+        # frame still interferes at this receiver via the overlap lists.
+        fmcs = tx.frame.mcs
+        if fmcs and self.propagation.link_mcs(self.phy)[tx.sender][radio.node_id] < fmcs:
+            self.stats.rate_losses += 1
+            self.counters.inc("rate_losses", node=radio.node_id)
+            if obs.active:
+                obs.emit(
+                    "rate_loss",
+                    node=radio.node_id,
+                    uid=tx.frame.uid,
+                    ftype=tx.frame.ftype.value,
+                    src=tx.sender,
+                    mcs=fmcs,
+                )
+            return
 
         overlaps = [
             t for t in radio.audible if t.start < tx_end and tx_start < t.end

@@ -24,12 +24,16 @@ MAC-relevant header fields only:
   fields (e.g. BMW's missing-sequence-number list inside the CTS).
 
 Airtimes come from Table 2: every control frame ("Signal Time") is 1 slot,
-DATA is 5 slots.
+DATA is 5 slots *at the base rate*.  Multi-rate PHY profiles
+(:class:`repro.phy.profile.PhyProfile`) override the DATA airtime per
+frame through ``airtime_slots``; frames built without an override keep the
+historical Table 2 values, so legacy construction sites are untouched.
 """
 
 from __future__ import annotations
 
 import itertools
+import warnings
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any
@@ -46,10 +50,32 @@ __all__ = [
 #: group-addressed bit).  Individual node addresses are non-negative ints.
 GROUP_ADDR = -1
 
-#: Airtime of every control frame, in slots (Table 2: "Signal Time").
-SIGNAL_SLOTS = 1
-#: Airtime of a data frame, in slots (Table 2: "Data Transmission Time").
-DATA_SLOTS = 5
+# The historical single-rate airtimes (Table 2).  These are exactly the
+# default PhyProfile's values; simulator code reads them through
+# MacConfig.t_signal / t_data (profile lookups) and the deprecated
+# module-level SIGNAL_SLOTS / DATA_SLOTS names below only remain for
+# external importers, for one release.
+_SIGNAL_SLOTS = 1
+_DATA_SLOTS = 5
+
+_DEPRECATED_CONSTANTS = {
+    "SIGNAL_SLOTS": _SIGNAL_SLOTS,
+    "DATA_SLOTS": _DATA_SLOTS,
+}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_CONSTANTS:
+        warnings.warn(
+            f"repro.sim.frames.{name} is deprecated; slot timings now come from "
+            "repro.phy.profile.PhyProfile (e.g. MacConfig.t_signal / t_data, or "
+            "PhyProfile().data_airtime(0)). The module constant will be removed "
+            "next release.",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _DEPRECATED_CONSTANTS[name]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class FrameType(Enum):
@@ -99,6 +125,14 @@ class Frame:
     group: frozenset[int] = frozenset()
     msg_id: int | None = None
     info: Any = None
+    #: Airtime override in slots, set by rate-aware senders from their
+    #: :class:`~repro.phy.profile.PhyProfile`; ``None`` falls back to the
+    #: Table 2 single-rate airtimes.
+    airtime_slots: int | None = None
+    #: MCS index this frame was transmitted at (0 = base rate).  The
+    #: channel refuses to decode a frame at a receiver whose link does not
+    #: sustain its MCS; control frames always go out at the base rate.
+    mcs: int = 0
     #: Unique per-frame id (diagnostics; not a protocol field).
     uid: int = field(default_factory=lambda: next(_frame_counter))
 
@@ -107,11 +141,18 @@ class Frame:
             raise ValueError(f"negative duration {self.duration}")
         if self.ra < GROUP_ADDR:
             raise ValueError(f"invalid receiver address {self.ra}")
+        if self.airtime_slots is not None and self.airtime_slots < 1:
+            raise ValueError(f"airtime_slots must be >= 1, got {self.airtime_slots}")
+        if self.mcs < 0:
+            raise ValueError(f"negative MCS index {self.mcs}")
 
     @property
     def airtime(self) -> int:
-        """Transmission time in slots (Table 2)."""
-        return DATA_SLOTS if self.ftype is FrameType.DATA else SIGNAL_SLOTS
+        """Transmission time in slots (the sender's PHY profile override,
+        defaulting to Table 2's single-rate values)."""
+        if self.airtime_slots is not None:
+            return self.airtime_slots
+        return _DATA_SLOTS if self.ftype is FrameType.DATA else _SIGNAL_SLOTS
 
     @property
     def is_group_addressed(self) -> bool:

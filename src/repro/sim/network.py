@@ -82,6 +82,7 @@ class Network:
         faults: "FaultPlan | None" = None,
     ):
         self.env = Environment()
+        self.mac_config = mac_config or MacConfig()
         self.propagation = (
             propagation
             if propagation is not None
@@ -94,6 +95,7 @@ class Network:
             frame_error_rate=frame_error_rate,
             rng=random.Random(f"{seed}:channel"),
             record_transmissions=record_transmissions,
+            phy=self.mac_config.phy,
         )
         self.seed = seed
         #: Optional fault machinery (see repro.faults).  Only instantiated
@@ -116,7 +118,6 @@ class Network:
                     self.propagation.positions
                 )
             self.faults.start_churn()
-        self.mac_config = mac_config or MacConfig()
         # Heterogeneous networks (Section 4's coexistence claim): pass a
         # sequence of MAC classes, one per node.
         n = self.propagation.n_nodes

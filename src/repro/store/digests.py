@@ -42,7 +42,8 @@ __all__ = [
 ]
 
 #: Version tag mixed into every digest; bump when the canonical form changes.
-DIGEST_VERSION = 1
+#: v2: SimulationSettings grew the ``phy`` PhyProfile field (multi-rate PHY).
+DIGEST_VERSION = 2
 
 
 def canonical_payload(obj: Any, path: str = "settings") -> Any:

@@ -35,6 +35,7 @@ from repro.experiments.config import SimulationSettings
 from repro.faults.plan import FaultPlan, GilbertElliott, NodeChurn
 from repro.mac.contention import ContentionParams
 from repro.obs.counters import diff_counters
+from repro.phy.profile import PhyProfile
 from repro.store.digests import code_fingerprint, git_commit
 from repro.workload.generator import TrafficMix
 
@@ -91,6 +92,11 @@ def settings_from_dict(payload: dict) -> SimulationSettings:
         if fp.get("churn") is not None:
             fp["churn"] = _build(NodeChurn, fp["churn"], "settings.faults.churn")
         payload["faults"] = _build(FaultPlan, fp, "settings.faults")
+    if "phy" in payload and isinstance(payload["phy"], dict):
+        # PhyProfile coerces the JSON lists back to tuples itself; a
+        # baseline written before the multi-rate PHY simply has no "phy"
+        # key and gets the default single-rate profile.
+        payload["phy"] = _build(PhyProfile, payload["phy"], "settings.phy")
     return _build(SimulationSettings, payload, "settings")
 
 

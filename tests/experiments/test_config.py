@@ -37,8 +37,13 @@ class TestSimulationSettings:
 class TestRegistry:
     def test_all_protocols_registered(self):
         assert set(PROTOCOLS) == {
-            "802.11", "TangGerla", "BSMA", "BMW", "BMMM", "LAMM", "LACS", "LBP",
+            "802.11", "TangGerla", "BSMA", "BMW", "BMMM", "LAMM", "LACS", "LBP", "RAM",
         }
+
+    def test_classic_presentation_order(self):
+        assert list(PROTOCOLS) == [
+            "802.11", "TangGerla", "BSMA", "BMW", "BMMM", "LAMM", "LACS", "LBP", "RAM",
+        ]
 
     def test_simulated_subset(self):
         assert set(SIMULATED_PROTOCOLS) <= set(PROTOCOLS)

@@ -1,0 +1,80 @@
+"""Unit tests for the self-registering protocol registry."""
+
+import pytest
+
+from repro.core.lamm import LammMac
+from repro.mac.registry import (
+    paper_protocols,
+    protocol_info,
+    register_protocol,
+    registered_protocols,
+)
+from repro.protocols.ram import RamMac
+
+
+class TestRegisterProtocol:
+    def test_reregistering_same_class_is_idempotent(self):
+        """Module re-imports must not blow up or duplicate rows."""
+        before = protocol_info("LAMM")
+        redecorated = register_protocol(
+            "LAMM", needs_positions=True, paper_rank=4
+        )(LammMac)
+        assert redecorated is LammMac
+        after = protocol_info("LAMM")
+        assert after.cls is before.cls is LammMac
+
+    def test_rebinding_name_to_different_class_raises(self):
+        class Impostor:
+            pass
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_protocol("LAMM")(Impostor)
+        assert protocol_info("LAMM").cls is LammMac  # registry unharmed
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(KeyError, match="unknown protocol"):
+            protocol_info("NOPE")
+
+
+class TestCapabilityFlags:
+    def test_ram_flags(self):
+        info = protocol_info("RAM")
+        assert info.cls is RamMac
+        assert info.needs_positions
+        assert info.rate_adaptive
+        assert info.paper_rank is None  # outside the paper's evaluation
+
+    def test_positionless_protocols_carry_no_position_flag(self):
+        for name in ("802.11", "TangGerla", "BSMA", "BMW", "BMMM"):
+            assert not protocol_info(name).needs_positions, name
+
+    def test_position_filter(self):
+        positional = set(registered_protocols(needs_positions=True))
+        assert positional == {"LAMM", "LACS", "LBP", "RAM"}
+        assert "BMMM" in registered_protocols(needs_positions=False)
+
+    def test_rate_adaptive_filter(self):
+        assert registered_protocols(rate_adaptive=True) == ("RAM",)
+        assert "RAM" not in registered_protocols(rate_adaptive=False)
+
+    def test_filters_compose(self):
+        assert registered_protocols(needs_positions=True, rate_adaptive=False) == (
+            "LAMM",
+            "LACS",
+            "LBP",
+        )
+
+    def test_no_filter_returns_everything(self):
+        names = registered_protocols()
+        assert set(names) >= {
+            "802.11", "TangGerla", "BSMA", "BMW", "BMMM", "LAMM", "LACS", "LBP", "RAM",
+        }
+
+
+class TestPaperProtocols:
+    def test_paper_order_is_plotting_order(self):
+        assert paper_protocols() == ("BMW", "BSMA", "BMMM", "LAMM")
+
+    def test_paper_filter_matches(self):
+        assert set(registered_protocols(paper=True)) == set(paper_protocols())
+        assert "RAM" in registered_protocols(paper=False)

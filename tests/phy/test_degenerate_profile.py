@@ -1,0 +1,90 @@
+"""The no-op profile contract: a degenerate multi-rate table is *free*.
+
+The PhyProfile API's analogue of the all-zero FaultPlan property: a
+profile whose every MCS costs the same 5 slots must produce metrics,
+observability counters AND RNG draw sequences bit-identical to the
+single-rate default -- for every registered protocol, including the
+rate-adaptive ones.  This holds because rate selection is deterministic
+(``best_mcs`` tie-breaks to MCS 0 so every frame flies at the base rate),
+the channel's decode gate sits *before* any RNG draw and never fires for
+MCS-0 frames, and RAM's per-round rate counter is incremented
+unconditionally -- so even the counter keys coincide.
+"""
+
+import pytest
+
+from repro.experiments.config import PROTOCOLS, SimulationSettings, protocol_class
+from repro.experiments.runner import build_network, run_raw
+from repro.phy.profile import PhyProfile
+from repro.workload.generator import TrafficGenerator
+
+from tests.faults.conftest import canon
+
+BASE = SimulationSettings(n_nodes=20, horizon=800, message_rate=0.003)
+
+#: Profiles that engage the whole multi-rate surface -- extra table rows,
+#: link-MCS computation, the decode gate -- without being able to change
+#: any outcome: every row costs the base 5 slots, so ``best_mcs`` always
+#: resolves to MCS 0.
+DEGENERATE_PROFILES = [
+    PhyProfile(signal_slots=1, data_slots=(5, 5), range_fractions=(1.0, 1.0)),
+    PhyProfile(signal_slots=1, data_slots=(5, 5, 5), range_fractions=(1.0, 1.0, 1.0)),
+    # Shrinking tiers still cannot matter when the rate they unlock is
+    # no faster than the base rate.
+    PhyProfile(signal_slots=1, data_slots=(5, 5), range_fractions=(1.0, 0.5)),
+]
+
+
+@pytest.mark.parametrize(
+    "profile", DEGENERATE_PROFILES, ids=lambda p: f"{p.data_slots}/{p.range_fractions}"
+)
+@pytest.mark.parametrize("protocol", sorted(PROTOCOLS))
+def test_degenerate_profile_is_bit_identical(profile, protocol):
+    assert not profile.is_single_rate  # engages the multi-rate paths for real
+    mac_cls, kwargs = protocol_class(protocol)
+    seed = 1
+    baseline = run_raw(mac_cls, BASE, seed, kwargs)
+    profiled = run_raw(mac_cls, BASE.with_(phy=profile), seed, kwargs)
+    assert canon(profiled.metrics()) == canon(baseline.metrics()), protocol
+    assert profiled.counters == baseline.counters, protocol
+    assert profiled.average_degree == baseline.average_degree
+
+
+@pytest.mark.parametrize("protocol", ["802.11", "BMMM", "LAMM", "RAM"])
+def test_degenerate_profile_preserves_rng_draw_sequences(protocol):
+    """Stronger than metrics equality: the *RNG streams* end in the same
+    state, so the degenerate profile consumed exactly the same draws in
+    exactly the same order (no hidden draw could cancel out)."""
+    mac_cls, kwargs = protocol_class(protocol)
+
+    def final_rng_states(settings):
+        net = build_network(mac_cls, settings, seed=3, mac_kwargs=kwargs)
+        gen = TrafficGenerator(
+            settings.n_nodes,
+            net.propagation.neighbors,
+            horizon=settings.horizon,
+            message_rate=settings.message_rate,
+            mix=settings.mix,
+            seed=3,
+        )
+        gen.inject(net)
+        net.run(until=settings.horizon)
+        return [net.channel.rng.getstate()] + [mac.rng.getstate() for mac in net.macs]
+
+    assert final_rng_states(BASE) == final_rng_states(
+        BASE.with_(phy=DEGENERATE_PROFILES[0])
+    )
+
+
+def test_active_profile_changes_outcomes():
+    """Sanity for the property above: a profile with a genuinely faster
+    tier *does* move RAM's outcomes at the same seed, so the bit-identity
+    assertions have teeth."""
+    mild = PhyProfile(signal_slots=1, data_slots=(5, 3), range_fractions=(1.0, 0.7))
+    mac_cls, kwargs = protocol_class("RAM")
+    baseline = run_raw(mac_cls, BASE, 1, kwargs)
+    adapted = run_raw(mac_cls, BASE.with_(phy=mild), 1, kwargs)
+    assert canon(adapted.metrics()) != canon(baseline.metrics())
+    assert any(
+        k.startswith("ram.rounds_mcs1") for k in adapted.counters.total
+    ), adapted.counters.total

@@ -1,8 +1,10 @@
-"""Unit tests for frame abstractions."""
+"""Unit tests for frame abstractions (and the deprecated slot-constant shim)."""
+
+import warnings
 
 import pytest
 
-from repro.sim.frames import DATA_SLOTS, Frame, FrameType, GROUP_ADDR, SIGNAL_SLOTS
+from repro.sim.frames import Frame, FrameType, GROUP_ADDR
 
 
 class TestFrameType:
@@ -17,11 +19,25 @@ class TestFrameType:
 
 class TestFrame:
     def test_airtime_table2(self):
-        """Table 2: signal time 1 slot, data 5 slots."""
+        """Table 2: signal time 1 slot, data 5 slots (the defaults when no
+        explicit ``airtime_slots`` is stamped on the frame)."""
         data = Frame(FrameType.DATA, src=0, ra=GROUP_ADDR)
-        assert data.airtime == DATA_SLOTS == 5
+        assert data.airtime == 5
         for ft in (FrameType.RTS, FrameType.CTS, FrameType.ACK, FrameType.NAK, FrameType.RAK):
-            assert Frame(ft, src=0, ra=1).airtime == SIGNAL_SLOTS == 1
+            assert Frame(ft, src=0, ra=1).airtime == 1
+
+    def test_airtime_slots_override(self):
+        """A multi-rate DATA frame carries its own airtime (and MCS)."""
+        fast = Frame(FrameType.DATA, src=0, ra=GROUP_ADDR, airtime_slots=3, mcs=1)
+        assert fast.airtime == 3 and fast.mcs == 1
+        slow = Frame(FrameType.DATA, src=0, ra=GROUP_ADDR, airtime_slots=5)
+        assert slow.airtime == 5 and slow.mcs == 0
+
+    def test_invalid_airtime_and_mcs_rejected(self):
+        with pytest.raises(ValueError):
+            Frame(FrameType.DATA, src=0, ra=GROUP_ADDR, airtime_slots=0)
+        with pytest.raises(ValueError):
+            Frame(FrameType.DATA, src=0, ra=GROUP_ADDR, mcs=-1)
 
     def test_rak_has_ack_format_airtime(self):
         """Figure 1: the RAK frame has the same format (size) as an ACK."""
@@ -63,3 +79,29 @@ class TestFrame:
         f = Frame(FrameType.CTS, src=2, ra=0, duration=7, seq=3)
         s = str(f)
         assert "CTS" in s and "2->0" in s
+
+
+class TestDeprecatedConstants:
+    """The one-release shim for the retired module-global slot timings."""
+
+    @pytest.mark.parametrize("name,value", [("SIGNAL_SLOTS", 1), ("DATA_SLOTS", 5)])
+    def test_shim_warns_and_returns_single_rate_values(self, name, value):
+        import repro.sim.frames as frames
+
+        with pytest.warns(DeprecationWarning, match="PhyProfile"):
+            assert getattr(frames, name) == value
+
+    @pytest.mark.parametrize("name,value", [("SIGNAL_SLOTS", 1), ("DATA_SLOTS", 5)])
+    def test_sim_package_reexport_warns_too(self, name, value):
+        import repro.sim as sim
+
+        with pytest.warns(DeprecationWarning, match="PhyProfile"):
+            assert getattr(sim, name) == value
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.sim.frames as frames
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with pytest.raises(AttributeError):
+                frames.NO_SUCH_CONSTANT

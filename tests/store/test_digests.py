@@ -22,6 +22,7 @@ from repro.experiments.config import SimulationSettings
 from repro.experiments.scenario import Scenario
 from repro.faults.plan import FaultPlan, GilbertElliott, NodeChurn
 from repro.mac.contention import ContentionParams
+from repro.phy.profile import PhyProfile
 from repro.store.digests import (
     canonical_json,
     canonical_payload,
@@ -32,8 +33,9 @@ from repro.store.digests import (
 from repro.workload.generator import TrafficMix
 
 #: The pinned address of the Table-2 default settings (threshold 0.9).
+#: Digest v2: SimulationSettings grew the ``phy`` PhyProfile field.
 DEFAULT_SETTINGS_DIGEST = (
-    "4dd742b2da00e70b6d67f27334d5e1f7519637505089d34e494b0423126a56ee"
+    "1b9b355b976784a6e77fddc022bea5eaf29def1fc9485842b31b325a620c1b8b"
 )
 
 
@@ -123,6 +125,7 @@ _FIELD_CHANGES = {
     "interference_factor": 1.5,
     "contention": ContentionParams(cw_min=32),
     "faults": FaultPlan(receiver_give_up=3),
+    "phy": PhyProfile(signal_slots=1, data_slots=(5, 3), range_fractions=(1.0, 0.7)),
 }
 
 
