@@ -14,6 +14,9 @@ Examples::
     repro-mac bench-kernel --churn-events 100000 --out results/
     repro-mac sweep --seeds 5 --telemetry results/sweep.telemetry.jsonl
     repro-mac watch results/sweep.telemetry.jsonl
+    repro-mac serve --store results/store.sqlite --workers 2 --seeds 5
+    repro-mac work --store results/store.sqlite --campaign serve
+    repro-mac store stats results/store.sqlite
     python -m repro figure5
 
 Every ``--out`` invocation also writes a ``<name>.manifest.json``
@@ -43,6 +46,18 @@ append-only JSONL; ``repro-mac watch PATH`` tails and renders it (or
 kernel phase profiler, attributing simulate wall clock to MAC phases
 (DIFS/backoff, DATA, ACK collection, ...); ``repro-mac trace <figure>
 --profile`` prints the same attribution for a single run.
+
+The distributed campaign service (``docs/serve.md``): ``repro-mac
+serve`` runs the same grid as ``sweep`` but dispatches pending cells
+through the results store's lease queue, where ``repro-mac work``
+processes -- on this host (``--workers N`` spawns them) or any host that
+can reach the store file -- lease, simulate and commit them; the merged
+results are bit-identical to a serial run, killed workers' leases expire
+and are reclaimed, and a killed coordinator reruns with zero
+recomputation.  ``repro-mac store stats|prune|vacuum`` is the store
+maintenance view: cell counts by protocol and code fingerprint, hit
+totals, database size, queue backlog; prune evicts stale-fingerprint
+cells and vacuum compacts the file.
 
 Subcommands report user errors (unknown protocol, missing baseline or
 telemetry file, malformed JSON) as a one-line message on stderr and a
@@ -78,6 +93,9 @@ __all__ = [
     "build_gate_parser",
     "build_bench_kernel_parser",
     "build_watch_parser",
+    "build_serve_parser",
+    "build_work_parser",
+    "build_store_parser",
 ]
 
 #: Experiments that run simulations and accept a ``seeds`` argument.
@@ -1011,6 +1029,390 @@ def _watch_main(argv: list[str]) -> int:
     return 0
 
 
+# --------------------------------------------------------------------------
+# `repro-mac serve` / `repro-mac work` -- the distributed campaign service
+# --------------------------------------------------------------------------
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Argument parser for the ``repro-mac serve`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mac serve",
+        description=(
+            "Coordinate a distributed campaign: plan the same grid as "
+            "'repro-mac sweep', enqueue pending cells into the results "
+            "store's lease queue, and merge results committed by 'repro-mac "
+            "work' processes (local via --workers, or on any host sharing "
+            "the store) in planned-job order -- bit-identical to a serial "
+            "run.  Killed workers' leases expire and are reclaimed; "
+            "rerunning a killed coordinator recomputes nothing."
+        ),
+    )
+    parser.add_argument(
+        "--store", required=True, metavar="PATH",
+        help="the results store (SQLite): coordination substrate and "
+        "result sink; workers must point at the same file",
+    )
+    parser.add_argument(
+        "--axis",
+        choices=sorted(_SWEEP_AXES),
+        default="nodes",
+        help="which Table-2 parameter the points sweep (default: nodes)",
+    )
+    parser.add_argument(
+        "--values",
+        default=None,
+        metavar="V1,V2,...",
+        help="comma-separated sweep values (defaults: the paper's sweep "
+        "for the chosen axis)",
+    )
+    parser.add_argument(
+        "--protocols",
+        default=",".join(paper_protocols()),
+        metavar="P1,P2,...",
+        help=f"protocols to run (default: {','.join(paper_protocols())})",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=3, metavar="N",
+        help="seeded runs per (point, protocol) cell (default 3)",
+    )
+    parser.add_argument(
+        "--horizon", type=int, default=None, metavar="SLOTS",
+        help="override simulation horizon at every point (smoke/CI runs)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="spawn N local 'repro-mac work' processes for the campaign "
+        "(default 0: wait for externally attached workers)",
+    )
+    parser.add_argument(
+        "--campaign", default=None, metavar="NAME",
+        help="queue namespace in the store (default: --name); workers "
+        "attach with 'repro-mac work --campaign NAME'",
+    )
+    parser.add_argument(
+        "--lease-ttl", type=float, default=30.0, metavar="S",
+        help="lease expiry horizon handed to spawned workers and used for "
+        "reclamation (default 30s; must exceed one cell's simulate time)",
+    )
+    parser.add_argument(
+        "--poll", type=float, default=0.5, metavar="S",
+        help="coordinator poll period: collect/reclaim/fold cadence "
+        "(default 0.5s)",
+    )
+    parser.add_argument(
+        "--wait-timeout", type=float, default=None, metavar="S",
+        help="fail if no cell is committed for S seconds (default: wait "
+        "forever -- daemon mode, workers come and go)",
+    )
+    parser.add_argument(
+        "--worker-dir", default=None, metavar="DIR",
+        help="directory for per-worker telemetry streams (default: "
+        "<store>.workers/)",
+    )
+    parser.add_argument(
+        "--name", default="serve", metavar="NAME",
+        help="basename for the result/manifest/BENCH files (default: serve)",
+    )
+    parser.add_argument(
+        "--out", default="results", metavar="DIR",
+        help="output directory (default results/)",
+    )
+    _add_telemetry_arguments(parser)
+    return parser
+
+
+def _serve_main(argv: list[str]) -> int:
+    from pathlib import Path
+
+    from repro.experiments.figures import DENSITY_SWEEP_NODES, RATE_SWEEP, TIMEOUT_SWEEP
+    from repro.experiments.scenario import Scenario
+    from repro.experiments.sweep import run_sweep, save_bench, sweep_manifest
+    from repro.serve.service import ServeBackend
+
+    args = build_serve_parser().parse_args(argv)
+    field, parse = _SWEEP_AXES[args.axis]
+    defaults = {"nodes": DENSITY_SWEEP_NODES, "rate": RATE_SWEEP, "timeout": TIMEOUT_SWEEP}
+    values = (
+        [parse(v) for v in args.values.split(",") if v]
+        if args.values
+        else list(defaults[args.axis])
+    )
+    base = SimulationSettings()
+    if args.horizon is not None:
+        base = base.with_(horizon=args.horizon)
+    points = [base.with_(**{field: v}) for v in values]
+    protocols = [p for p in args.protocols.split(",") if p]
+    campaign = args.campaign or args.name
+
+    scenario = Scenario(
+        settings=base, protocols=tuple(protocols), seeds=tuple(range(args.seeds))
+    )
+    backend = ServeBackend(
+        campaign=campaign,
+        lease_ttl=args.lease_ttl,
+        poll_s=args.poll,
+        spawn_workers=args.workers,
+        wait_timeout=args.wait_timeout,
+        worker_dir=args.worker_dir,
+    )
+    result = run_sweep(
+        scenario,
+        points,
+        store=args.store,
+        telemetry=args.telemetry,
+        profile=args.mac_profile,
+        campaign=campaign,
+        backend=backend,
+    )
+
+    for idx, value in enumerate(values):
+        print(f"== {args.axis} = {value} (mean degree {sum(result.point_degrees(idx)) / len(result.point_degrees(idx)):.2f}) ==")
+        for proto in protocols:
+            mm = result.mean(idx, proto)
+            print(
+                f"  {proto:<10} delivery {mm.delivery_rate:6.3f}"
+                f"  phases {mm.avg_contention_phases:7.2f}"
+                f"  completion {mm.avg_completion_time:8.1f}"
+                f"  ({mm.n_runs} runs, {mm.n_requests} requests)"
+            )
+    print()
+    print(format_timings(result.timings, title=f"{args.name} phases"))
+    _print_execution(result)
+    print(
+        f"[campaign {campaign}: {backend.workers_seen} workers, "
+        f"{backend.reclaimed} leases reclaimed]"
+    )
+    _print_campaign_observability(result)
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    result_path = out_dir / f"{args.name}.json"
+    result_path.write_text(json.dumps(result.as_dict(), indent=2, default=str))
+    manifest = sweep_manifest(result, name=args.name)
+    manifest.extra.update(
+        {
+            "kind": "serve",
+            "campaign": campaign,
+            "workers_seen": backend.workers_seen,
+            "leases_reclaimed": backend.reclaimed,
+        }
+    )
+    manifest_path = manifest.save(out_dir / f"{args.name}.manifest.json")
+    bench_path = save_bench(result, args.name, out_dir)
+    print(format_counters(manifest.counters, title="grid counter totals"))
+    print(f"[results {result_path}]")
+    print(f"[manifest {manifest_path}]")
+    print(f"[bench {bench_path}]")
+    return 0
+
+
+def build_work_parser() -> argparse.ArgumentParser:
+    """Argument parser for the ``repro-mac work`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mac work",
+        description=(
+            "Run one campaign worker: lease batches of pending cells from "
+            "the store, simulate each through the same run_job path the "
+            "process pool uses, and commit every result atomically with "
+            "its lease transition.  Exits when the campaign completes; a "
+            "killed worker's leases simply expire and its cells are "
+            "reclaimed."
+        ),
+    )
+    parser.add_argument(
+        "--store", required=True, metavar="PATH",
+        help="the coordinator's results store (same file/path)",
+    )
+    parser.add_argument(
+        "--campaign", required=True, metavar="NAME",
+        help="campaign queue to serve (the coordinator's --campaign)",
+    )
+    parser.add_argument(
+        "--id", default=None, metavar="WID",
+        help="worker identity in leases and telemetry (default: "
+        "<hostname>-<pid>)",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=0, metavar="N",
+        help="cells leased per request (default 4; the store shrinks "
+        "grants near the queue's tail)",
+    )
+    parser.add_argument(
+        "--lease-ttl", type=float, default=30.0, metavar="S",
+        help="lease expiry horizon; renewed between cells (default 30s)",
+    )
+    parser.add_argument(
+        "--poll", type=float, default=0.2, metavar="S",
+        help="sleep between empty lease attempts (default 0.2s)",
+    )
+    parser.add_argument(
+        "--max-cells", type=int, default=None, metavar="N",
+        help="stop after N cells (default: run until the campaign is done)",
+    )
+    parser.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="S",
+        help="exit after S seconds with nothing to lease (default: wait "
+        "forever for work)",
+    )
+    parser.add_argument(
+        "--commit-every", type=int, default=1, metavar="N",
+        help="commit results every N cells (default 1: per-cell "
+        "durability; raise to trade crash exposure for fewer commits)",
+    )
+    parser.add_argument(
+        "--telemetry-dir", default=None, metavar="DIR",
+        help="write a per-worker heartbeat stream under DIR for the "
+        "coordinator to fold into its campaign telemetry (default: "
+        "<store>.workers/ next to the store; pass 'none' to disable)",
+    )
+    return parser
+
+
+def _work_main(argv: list[str]) -> int:
+    from pathlib import Path
+
+    from repro.serve.service import worker_stream_dir
+    from repro.serve.worker import work_campaign
+
+    args = build_work_parser().parse_args(argv)
+    if not Path(args.store).is_file():
+        raise FileNotFoundError(
+            f"no results store at {args.store}; start the coordinator "
+            "('repro-mac serve --store PATH') first"
+        )
+    if args.telemetry_dir is None:
+        args.telemetry_dir = str(worker_stream_dir(args.store))
+    elif args.telemetry_dir.lower() == "none":
+        args.telemetry_dir = None
+    report = work_campaign(
+        args.store,
+        args.campaign,
+        worker_id=args.id,
+        batch=args.batch,
+        lease_ttl=args.lease_ttl,
+        poll_s=args.poll,
+        max_cells=args.max_cells,
+        idle_timeout=args.idle_timeout,
+        commit_every=args.commit_every,
+        telemetry_dir=args.telemetry_dir,
+    )
+    print(
+        f"[worker {report.worker_id} campaign {report.campaign}: "
+        f"{report.cells_done} cells in {report.wall_clock_s:.1f}s "
+        f"({report.leases_taken} leases, {report.cells_stolen} stolen, "
+        f"simulate {report.simulate_s:.1f}s)"
+    )
+    return 0
+
+
+# --------------------------------------------------------------------------
+# `repro-mac store` -- results-store maintenance (stats / prune / vacuum)
+# --------------------------------------------------------------------------
+
+
+def build_store_parser() -> argparse.ArgumentParser:
+    """Argument parser for the ``repro-mac store`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mac store",
+        description=(
+            "Results-store maintenance.  'stats' reports cell counts by "
+            "protocol and code fingerprint, served-hit totals, payload and "
+            "file bytes, and any campaign queue backlog; 'prune' evicts "
+            "cells (and queue rows) from other code fingerprints; 'vacuum' "
+            "compacts the database file."
+        ),
+    )
+    parser.add_argument(
+        "action", choices=["stats", "prune", "vacuum"],
+        help="what to do to the store",
+    )
+    parser.add_argument("store", metavar="PATH", help="the store's SQLite file")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit 'stats' as machine-readable JSON",
+    )
+    parser.add_argument(
+        "--keep-fingerprint", default=None, metavar="FP",
+        help="fingerprint 'prune' keeps (default: the current code's)",
+    )
+    parser.add_argument(
+        "--vacuum", action="store_true", dest="also_vacuum",
+        help="compact the file after 'prune'",
+    )
+    return parser
+
+
+def _fmt_bytes(n: int | None) -> str:
+    if n is None:
+        return "?"
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{n} B"
+        n /= 1024
+    return f"{n} B"  # pragma: no cover - loop always returns
+
+
+def _format_store_stats(stats: dict) -> str:
+    lines = [
+        f"store {stats['path']} (schema v{stats['schema_version']}, "
+        f"{_fmt_bytes(stats['db_bytes'])} on disk)",
+        f"  cells: {stats['n_results']} across {stats['n_fingerprints']} "
+        f"fingerprint(s), {_fmt_bytes(stats['payload_bytes'])} payload, "
+        f"{stats['total_hits']} hits served",
+    ]
+    if stats["by_protocol"]:
+        lines.append(
+            "  by protocol: "
+            + "  ".join(f"{p}={n}" for p, n in stats["by_protocol"].items())
+        )
+    if stats["by_fingerprint"]:
+        lines.append(
+            "  by fingerprint: "
+            + "  ".join(f"{fp[:12]}={n}" for fp, n in stats["by_fingerprint"].items())
+        )
+    if stats["queue_rows"]:
+        backlog = "  ".join(f"{c}={n}" for c, n in stats["campaigns"].items())
+        lines.append(f"  queue: {stats['queue_rows']} row(s) -- {backlog}")
+    else:
+        lines.append("  queue: empty")
+    return "\n".join(lines)
+
+
+def _store_main(argv: list[str]) -> int:
+    from pathlib import Path
+
+    from repro.store.db import ResultStore
+
+    args = build_store_parser().parse_args(argv)
+    if not Path(args.store).is_file():
+        raise FileNotFoundError(f"no results store at {args.store}")
+    store = ResultStore(args.store)
+    try:
+        if args.action == "stats":
+            stats = store.stats()
+            if args.json:
+                print(json.dumps(stats, indent=2, default=str))
+            else:
+                print(_format_store_stats(stats))
+        elif args.action == "prune":
+            before = store.stats()["db_bytes"]
+            evicted = store.prune(args.keep_fingerprint)
+            print(f"[pruned {evicted} stale-fingerprint cell(s)]")
+            if args.also_vacuum:
+                store.vacuum()
+                after = store.stats()["db_bytes"]
+                print(f"[vacuum: {_fmt_bytes(before)} -> {_fmt_bytes(after)}]")
+        else:  # vacuum
+            before = store.stats()["db_bytes"]
+            store.vacuum()
+            after = store.stats()["db_bytes"]
+            print(f"[vacuum: {_fmt_bytes(before)} -> {_fmt_bytes(after)}]")
+    finally:
+        store.close()
+    return 0
+
+
 #: Subcommand dispatch table (argv[0] -> implementation).
 _SUBCOMMANDS = {
     "trace": _trace_main,
@@ -1020,6 +1422,9 @@ _SUBCOMMANDS = {
     "gate": _gate_main,
     "bench-kernel": _bench_kernel_main,
     "watch": _watch_main,
+    "serve": _serve_main,
+    "work": _work_main,
+    "store": _store_main,
 }
 
 
@@ -1027,17 +1432,20 @@ def _run_subcommand(func, argv: list[str]) -> int:
     """Run a subcommand, turning user errors into one-line messages.
 
     Unknown protocol names (:func:`protocol_class` raises ``KeyError``),
-    missing or malformed baseline / telemetry / trace files and schema
-    mismatches all surface as ``repro-mac: error: ...`` on stderr with
-    exit code 2 -- a traceback here means a bug, not a typo.
+    missing or malformed baseline / telemetry / trace files, schema
+    mismatches and stalled / misaddressed campaigns (``StoreError``) all
+    surface as ``repro-mac: error: ...`` on stderr with exit code 2 -- a
+    traceback here means a bug, not a typo.
     """
+    from repro.store.db import StoreError
+
     try:
         return func(argv)
     except KeyError as exc:
         message = exc.args[0] if exc.args else exc
         print(f"repro-mac: error: {message}", file=sys.stderr)
         return 2
-    except (OSError, ValueError) as exc:  # includes json.JSONDecodeError
+    except (OSError, ValueError, StoreError) as exc:  # includes JSONDecodeError
         print(f"repro-mac: error: {exc}", file=sys.stderr)
         return 2
 

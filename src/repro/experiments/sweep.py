@@ -65,6 +65,9 @@ __all__ = [
     "JobResult",
     "SweepCell",
     "SweepResult",
+    "DispatchBackend",
+    "DispatchContext",
+    "PoolBackend",
     "plan_jobs",
     "run_job",
     "run_sweep",
@@ -191,6 +194,81 @@ def _sweep_worker(job: SweepJob) -> JobResult:
     if _WORKER_CACHE is None:
         _WORKER_CACHE = WorldCache()
     return run_job(job, _WORKER_CACHE)
+
+
+# --------------------------------------------------------------------------
+# Dispatch backends: how pending jobs get executed
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class DispatchContext:
+    """What :func:`run_sweep` hands a backend alongside the pending jobs.
+
+    Planning (which jobs exist, in what order), the store scan (which are
+    already computed) and the merge (planned-job order, bit-identical)
+    are *shared* across every backend; only the execution of the pending
+    jobs differs.  The context carries the shared campaign state a
+    backend may need: the open store, the telemetry stream, the settings
+    digests addressing each point, and the code fingerprint the cells
+    are keyed under.
+    """
+
+    protocols: list[str]
+    points: list[SimulationSettings]
+    point_digests: list[str]
+    fingerprint: str | None
+    store: ResultStore | None
+    telemetry: CampaignTelemetry | None
+    campaign: str
+    #: Distinct (point, seed) cells among the pending jobs -- the unit
+    #: chunking aligns to.
+    n_cells: int
+
+
+class DispatchBackend:
+    """Strategy object executing a sweep's pending jobs.
+
+    Implementations call ``record(result)`` exactly once per pending job,
+    in any order; :func:`run_sweep` owns everything around that --
+    store scan, store commits, telemetry, and the planned-order merge --
+    so every backend inherits the bit-identity contract for free.
+    """
+
+    #: True when results are committed to the store remotely (by workers)
+    #: rather than by the coordinator's ``record`` callback.
+    remote_commits = False
+
+    def run(self, pending, record, ctx: DispatchContext) -> tuple[int, int]:
+        """Execute every job in *pending*; returns ``(workers, chunksize)``
+        for the execution record."""
+        raise NotImplementedError
+
+
+@dataclass
+class PoolBackend(DispatchBackend):
+    """The single-host backend: one long-lived process pool (the default).
+
+    ``processes=None`` uses ``os.cpu_count()``; ``processes=1`` runs
+    in-process through the same world cache (still bit-identical).
+    """
+
+    processes: int | None = None
+    chunksize: int | None = None
+
+    def run(self, pending, record, ctx: DispatchContext) -> tuple[int, int]:
+        if self.processes == 1 or len(pending) == 1:
+            cs = self.chunksize or len(ctx.protocols)
+            cache = WorldCache()
+            for job in pending:
+                record(run_job(job, cache))
+            return 1, cs
+        workers = min(self.processes or os.cpu_count() or 1, len(pending))
+        cs = self.chunksize or len(ctx.protocols) * auto_chunksize(ctx.n_cells, workers)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for res in pool.map(_sweep_worker, pending, chunksize=cs):
+                record(res)
+        return workers, cs
 
 
 @dataclass
@@ -330,6 +408,7 @@ def run_sweep(
     telemetry=None,
     profile: bool = False,
     campaign: str = "sweep",
+    backend: DispatchBackend | None = None,
 ) -> SweepResult:
     """Run the full protocols x points x seeds grid.
 
@@ -364,6 +443,15 @@ def run_sweep(
     on ``SweepResult.mac_profile``.  Both are coordinator/subscriber-side
     instruments: enabled or not, metrics and counters are bit-identical
     (pinned by ``tests/experiments/test_sweep_telemetry.py``).
+
+    *backend* chooses how the pending jobs execute: the default is
+    :class:`PoolBackend` (built from *processes*/*chunksize*); the
+    distributed campaign service passes
+    :class:`repro.serve.ServeBackend`, which enqueues the cells into the
+    store's lease queue and collects what remote workers commit.
+    Planning, the store scan, telemetry and the planned-order merge are
+    identical either way -- that is why a distributed campaign is
+    bit-identical to a serial one.
     """
     if isinstance(protocols, Scenario):
         sc = protocols
@@ -432,10 +520,16 @@ def run_sweep(
         fresh: dict[tuple[int, str, int], JobResult] = {}
         commit_spans: dict[tuple[int, str, int], float] = {}
 
+        if backend is None:
+            backend = PoolBackend(processes=processes, chunksize=chunksize)
+
         def record(res: JobResult) -> None:
-            # Commit-per-cell: a kill between cells loses nothing.
+            # Commit-per-cell: a kill between cells loses nothing.  A
+            # remote-committing backend's workers already stored the
+            # result (atomically, with the lease transition) -- the
+            # coordinator must not re-commit it.
             commit_s = None
-            if store is not None:
+            if store is not None and not backend.remote_commits:
                 t0 = time.perf_counter()
                 store.put(
                     point_digests[res.point], res.protocol, res.seed, res, fingerprint
@@ -446,24 +540,22 @@ def run_sweep(
             if telemetry is not None:
                 telemetry.job_done(res, commit_s=commit_s)
 
-        n_cells = len({(j.point, j.seed) for j in pending})
         if not pending:
             workers = 0
             cs = chunksize or len(protocols)
-        elif processes == 1 or len(pending) == 1:
-            workers = 1
-            cs = chunksize or len(protocols)
-            with timer.phase("dispatch"):
-                cache = WorldCache()
-                for job in pending:
-                    record(run_job(job, cache))
         else:
-            workers = min(processes or os.cpu_count() or 1, len(pending))
-            cs = chunksize or len(protocols) * auto_chunksize(n_cells, workers)
+            ctx = DispatchContext(
+                protocols=list(protocols),
+                points=list(points),
+                point_digests=point_digests,
+                fingerprint=fingerprint,
+                store=store,
+                telemetry=telemetry,
+                campaign=campaign,
+                n_cells=len({(j.point, j.seed) for j in pending}),
+            )
             with timer.phase("dispatch"):
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    for res in pool.map(_sweep_worker, pending, chunksize=cs):
-                        record(res)
+                workers, cs = backend.run(pending, record, ctx)
 
         with timer.phase("merge"):
             cells: dict[tuple[int, str], SweepCell] = {
@@ -567,6 +659,7 @@ def sweep(
     telemetry=None,
     profile: bool = False,
     campaign: str = "sweep",
+    backend: DispatchBackend | None = None,
 ) -> SweepResult:
     """The canonical grid entry point: :func:`run_sweep` over a Scenario.
 
@@ -587,6 +680,7 @@ def sweep(
         telemetry=telemetry,
         profile=profile,
         campaign=campaign,
+        backend=backend,
     )
 
 

@@ -28,8 +28,20 @@ Newline-delimited JSON.  Every record carries ``e`` (record type) and
     progress         done/pending/store_served counts, rolling slots/sec,
                      world-cache hits, elapsed_s, eta_s
     worker           heartbeat: worker pid, jobs_done, simulate_s, last cell
+                     (+ ``id``/``leased`` for distributed-service workers)
     span             cell key (point/protocol/seed), phase, t0, dur_s, worker
-    end              final totals; its presence = the campaign completed
+    end              final totals; a **campaign-scoped** end record means
+                     the campaign completed (``scope`` defaults to
+                     ``"campaign"``; worker streams end with
+                     ``scope: "worker"``, which does NOT mark a campaign
+                     stream complete when folded or concatenated)
+
+Multi-writer discipline (the distributed campaign service): each worker
+writes its *own* stream, and the coordinator folds worker records into
+the single campaign stream via :meth:`CampaignTelemetry.fold`.  The
+loader therefore tolerates interleaved writers: repeated ``telemetry.meta``
+records keep the first header, worker-scoped ``end`` records never flip
+``.completed``, and heartbeats from any number of workers coexist.
 
 Spans carry exactly the per-phase wall-clock numbers the workers measured
 (:class:`~repro.experiments.sweep.JobResult.timings`), so summing the
@@ -217,6 +229,42 @@ class CampaignTelemetry:
         w["last"] = key
         self._progress(now=now)
 
+    def event(self, etype: str, **fields: Any) -> None:
+        """Emit an ad-hoc record (e.g. the serve coordinator's
+        ``lease.reclaimed`` accounting); unknown types are ignored by the
+        renderer but preserved by the loader."""
+        self._write({"e": etype, "tw": time.time(), **fields})
+
+    def fold(self, record: dict) -> None:
+        """Re-emit one record from a *worker's* stream into this stream.
+
+        The distributed campaign service gives every worker its own
+        telemetry file (kill-safe: a dead worker leaves at most one
+        partial line in its own stream, never in the campaign stream);
+        the coordinator tails those files and folds the records here so
+        ``repro-mac watch`` needs only the one campaign stream.  Meta
+        headers and end records are *not* folded -- a worker's lifecycle
+        is not the campaign's.  Worker heartbeats refresh this stream's
+        per-worker bookkeeping so the next ``progress`` flush reflects
+        them.
+        """
+        etype = record.get("e")
+        if etype in (TELEMETRY_META_ETYPE, "end", "progress"):
+            return
+        if etype == "worker":
+            pid = record.get("worker", 0)
+            w = self._workers.setdefault(
+                pid, {"jobs": 0, "simulate_s": 0.0, "last": "?"}
+            )
+            # The worker's own counters are authoritative for its row.
+            w["jobs"] = record.get("jobs_done", w["jobs"])
+            w["simulate_s"] = record.get("simulate_s", w["simulate_s"])
+            w["last"] = record.get("last", w["last"])
+            for extra_key in ("id", "leased"):
+                if extra_key in record:
+                    w[extra_key] = record[extra_key]
+        self._write(dict(record))
+
     def _progress(self, now: float | None = None, force: bool = False) -> None:
         now = now if now is not None else time.time()
         if not force and now - self._last_progress < _PROGRESS_INTERVAL_S:
@@ -247,16 +295,18 @@ class CampaignTelemetry:
             }
         )
         for pid, w in self._workers.items():
-            self._write(
-                {
-                    "e": "worker",
-                    "tw": now,
-                    "worker": pid,
-                    "jobs_done": w["jobs"],
-                    "simulate_s": w["simulate_s"],
-                    "last": w["last"],
-                }
-            )
+            record = {
+                "e": "worker",
+                "tw": now,
+                "worker": pid,
+                "jobs_done": w["jobs"],
+                "simulate_s": w["simulate_s"],
+                "last": w["last"],
+            }
+            for extra_key in ("id", "leased"):
+                if extra_key in w:
+                    record[extra_key] = w[extra_key]
+            self._write(record)
 
     def close(self, result=None) -> None:
         """Write the ``end`` record (campaign completed) and close."""
@@ -264,6 +314,7 @@ class CampaignTelemetry:
         record: dict[str, Any] = {
             "e": "end",
             "tw": now,
+            "scope": "campaign",
             "done": self._done,
             "total": self.n_jobs,
             "store_served": self._store_served,
@@ -318,8 +369,18 @@ class TelemetryStream:
 
     @property
     def completed(self) -> bool:
-        """True iff the campaign wrote its ``end`` record."""
-        return any(r.get("e") == "end" for r in self.records)
+        """True iff the *campaign* wrote its ``end`` record.
+
+        Worker-scoped end records (``scope: "worker"``) never count: a
+        folded or interleaved multi-writer stream whose workers exited
+        is not a finished campaign until the coordinator says so.
+        Records without a ``scope`` (single-writer streams from before
+        the distributed service) are campaign-scoped.
+        """
+        return any(
+            r.get("e") == "end" and r.get("scope", "campaign") != "worker"
+            for r in self.records
+        )
 
     @property
     def last_progress(self) -> dict | None:
@@ -370,7 +431,14 @@ def load_telemetry(source: str | Path | IO[str]) -> TelemetryStream:
                     f"unsupported telemetry schema {schema!r} (this reader "
                     f"handles {TELEMETRY_SCHEMA_VERSION})"
                 )
-            meta = record
+            # Multi-writer tolerance: the first header (the coordinator's)
+            # stays authoritative; later metas -- e.g. worker streams
+            # concatenated or folded into a campaign stream -- are kept
+            # as plain records so nothing is silently dropped.
+            if meta is None:
+                meta = record
+            else:
+                records.append(record)
             continue
         records.append(record)
     return TelemetryStream(meta=meta, records=records, truncated=truncated)
@@ -461,16 +529,24 @@ def render_telemetry(stream: TelemetryStream, width: int = 30) -> str:
             + (f"  {rate:,.0f} slots/s rolling" if rate else "")
             + f"  world-cache hits {progress.get('cache_hits', 0)}"
         )
-    workers: dict[int, dict] = {}
+    reclaimed = sum(r.get("n", 0) for r in stream.by_type("lease.reclaimed"))
+    if reclaimed:
+        lines.append(f"  leases reclaimed from dead workers: {reclaimed}")
+    workers: dict = {}
     for record in stream.by_type("worker"):
         workers[record["worker"]] = record  # last heartbeat wins
     if workers:
         lines.append(f"  workers ({len(workers)}):")
-        for pid in sorted(workers):
+        # Worker keys may mix pids (ints) and distributed-worker ids
+        # (strings) in one multi-writer stream -- sort on the rendering.
+        for pid in sorted(workers, key=str):
             w = workers[pid]
+            label = w.get("id") or f"pid {pid}"
+            leased = f"  {w['leased']} leased" if w.get("leased") else ""
             lines.append(
-                f"    pid {pid:<8} {w['jobs_done']:>5} jobs"
-                f"  {w['simulate_s']:8.2f}s simulate   last {w['last']}"
+                f"    {str(label):<16} {w.get('jobs_done', 0):>5} jobs"
+                f"  {w.get('simulate_s', 0.0):8.2f}s simulate"
+                f"   last {w.get('last', '?')}{leased}"
             )
     spans = stream.spans()
     if spans:

@@ -8,10 +8,23 @@ a store hit reproduces exactly what the pool would have sent back and
 merged results stay bit-identical to a cold run (pinned by
 ``tests/experiments/test_sweep_store.py``).
 
-Durability discipline: every :meth:`ResultStore.put` commits immediately.
+Durability discipline: every :meth:`ResultStore.put` commits immediately,
+and :meth:`ResultStore.put_many` commits a whole batch in **one**
+transaction -- a crash mid-batch rolls the entire batch back, so no
+partial cell is ever served (pinned by ``tests/store/test_store.py``).
 A campaign killed mid-grid therefore keeps every finished cell, and the
 rerun dispatches only the missing ones -- that is the whole resumability
 story, there is no separate checkpoint format.
+
+Since schema v2 the store is also the **coordination substrate** of the
+distributed campaign service (:mod:`repro.serve`): the ``leases`` table
+is a per-campaign work queue of planned cells that workers claim with
+expiring, heartbeat-renewed leases.  All queue transitions are single
+SQLite transactions (``BEGIN IMMEDIATE``), so any number of worker
+processes -- on this host or another sharing the filesystem -- can race
+on the same store without double-granting a live lease.  A worker that
+dies simply stops renewing; its cells become claimable again the moment
+the lease expires.  See ``docs/serve.md`` for the lease lifecycle.
 
 Schema changes go through :data:`ResultStore.SCHEMA_VERSION` and
 ``_MIGRATIONS``; opening a store written by a *newer* build fails loudly
@@ -20,16 +33,19 @@ rather than guessing.
 
 from __future__ import annotations
 
+import os
 import pickle
 import sqlite3
+import time
 import zlib
+from dataclasses import dataclass
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.store.digests import code_fingerprint
 
-__all__ = ["ResultStore", "StoreError"]
+__all__ = ["ResultStore", "StoreError", "LeasedCell"]
 
 
 class StoreError(RuntimeError):
@@ -61,7 +77,57 @@ _MIGRATIONS = (
     );
     CREATE INDEX idx_results_fingerprint ON results (code_fingerprint);
     """,
+    # v2: the distributed campaign service's lease queue (repro.serve).
+    """
+    CREATE TABLE leases (
+        campaign         TEXT    NOT NULL,
+        scenario_digest  TEXT    NOT NULL,
+        protocol         TEXT    NOT NULL,
+        seed             INTEGER NOT NULL,
+        code_fingerprint TEXT    NOT NULL,
+        job_index        INTEGER NOT NULL,
+        job              BLOB    NOT NULL,
+        state            TEXT    NOT NULL DEFAULT 'pending',
+        worker           TEXT,
+        lease_expires_at REAL,
+        attempts         INTEGER NOT NULL DEFAULT 0,
+        enqueued_at      TEXT    NOT NULL,
+        completed_at     TEXT,
+        PRIMARY KEY (campaign, scenario_digest, protocol, seed, code_fingerprint)
+    );
+    CREATE INDEX idx_leases_campaign_state ON leases (campaign, state);
+    """,
 )
+
+
+@dataclass(frozen=True)
+class LeasedCell:
+    """One claimed queue entry: the cell address plus its planned job."""
+
+    campaign: str
+    job_index: int
+    scenario_digest: str
+    protocol: str
+    seed: int
+    fingerprint: str
+    #: The unpickled payload the coordinator enqueued (a
+    #: :class:`~repro.experiments.sweep.SweepJob` in the serve service).
+    job: Any
+    #: Lease attempts including this grant; ``> 1`` means the cell was
+    #: reclaimed or stolen from an expired lease.
+    attempts: int = 1
+
+    @property
+    def key(self) -> tuple[str, str, int]:
+        return (self.scenario_digest, self.protocol, self.seed)
+
+
+def _dumps(payload: Any) -> bytes:
+    return zlib.compress(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def _loads(blob: bytes) -> Any:
+    return pickle.loads(zlib.decompress(blob))
 
 
 class ResultStore:
@@ -71,6 +137,11 @@ class ResultStore:
     for tests.  Usable as a context manager; safe to reopen across
     processes -- SQLite serialises writers, and rows are immutable once
     written (same key => same content, by construction).
+
+    The connection runs in autocommit mode with an explicit transaction
+    around every multi-statement operation (``put_many``, the lease
+    queue transitions), so concurrent workers see either all of an
+    operation or none of it.
     """
 
     SCHEMA_VERSION = len(_MIGRATIONS)
@@ -79,37 +150,53 @@ class ResultStore:
         self.path = str(path)
         if self.path != ":memory:":
             Path(self.path).parent.mkdir(parents=True, exist_ok=True)
-        self._conn = sqlite3.connect(self.path)
+        # Autocommit + explicit BEGIN IMMEDIATE where atomicity spans
+        # statements; the generous timeout covers competing workers.
+        self._conn = sqlite3.connect(self.path, timeout=30.0, isolation_level=None)
         self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute("PRAGMA busy_timeout=30000")
         self._migrate()
 
     # -- lifecycle ---------------------------------------------------------
 
     def _migrate(self) -> None:
-        cur = self._conn.execute(
-            "SELECT name FROM sqlite_master WHERE type='table' AND name='meta'"
-        )
-        if cur.fetchone() is None:
-            version = 0
-        else:
-            row = self._conn.execute(
-                "SELECT value FROM meta WHERE key='schema_version'"
-            ).fetchone()
-            version = int(row[0]) if row else 0
-        if version > self.SCHEMA_VERSION:
-            raise StoreError(
-                f"{self.path}: store schema v{version} is newer than this build "
-                f"supports (v{self.SCHEMA_VERSION}); upgrade the package or use a "
-                "fresh store"
+        # Version check and DDL inside ONE immediate transaction: two
+        # connections racing to create (or upgrade) the same store file
+        # serialise here, and the loser re-reads the version the winner
+        # committed instead of re-running its DDL.
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            cur = self._conn.execute(
+                "SELECT name FROM sqlite_master WHERE type='table' AND name='meta'"
             )
-        for step in range(version, self.SCHEMA_VERSION):
-            self._conn.executescript(_MIGRATIONS[step])
-        if version != self.SCHEMA_VERSION:
-            self._conn.execute(
-                "INSERT OR REPLACE INTO meta (key, value) VALUES ('schema_version', ?)",
-                (str(self.SCHEMA_VERSION),),
-            )
-            self._conn.commit()
+            if cur.fetchone() is None:
+                version = 0
+            else:
+                row = self._conn.execute(
+                    "SELECT value FROM meta WHERE key='schema_version'"
+                ).fetchone()
+                version = int(row[0]) if row else 0
+            if version > self.SCHEMA_VERSION:
+                raise StoreError(
+                    f"{self.path}: store schema v{version} is newer than this build "
+                    f"supports (v{self.SCHEMA_VERSION}); upgrade the package or use a "
+                    "fresh store"
+                )
+            for step in range(version, self.SCHEMA_VERSION):
+                for statement in _MIGRATIONS[step].split(";"):
+                    if statement.strip():
+                        self._conn.execute(statement)
+            if version != self.SCHEMA_VERSION:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO meta (key, value)"
+                    " VALUES ('schema_version', ?)",
+                    (str(self.SCHEMA_VERSION),),
+                )
+        except BaseException:
+            if self._conn.in_transaction:
+                self._conn.execute("ROLLBACK")
+            raise
+        self._conn.execute("COMMIT")
 
     def close(self) -> None:
         self._conn.close()
@@ -119,6 +206,11 @@ class ResultStore:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    def _transaction(self) -> "sqlite3.Connection":
+        """Open an IMMEDIATE transaction; caller commits/rolls back."""
+        self._conn.execute("BEGIN IMMEDIATE")
+        return self._conn
 
     # -- the cell API ------------------------------------------------------
 
@@ -147,8 +239,7 @@ class ResultStore:
             " WHERE scenario_digest=? AND protocol=? AND seed=? AND code_fingerprint=?",
             (_utcnow(), scenario_digest, protocol, int(seed), fp),
         )
-        self._conn.commit()
-        return pickle.loads(zlib.decompress(row[0]))
+        return _loads(row[0])
 
     def put(
         self,
@@ -160,14 +251,44 @@ class ResultStore:
     ) -> None:
         """Insert one finished cell and commit immediately (resumability)."""
         fp = fingerprint if fingerprint is not None else code_fingerprint()
-        blob = zlib.compress(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
         self._conn.execute(
             "INSERT OR REPLACE INTO results"
             " (scenario_digest, protocol, seed, code_fingerprint, payload, created_at)"
             " VALUES (?, ?, ?, ?, ?, ?)",
-            (scenario_digest, protocol, int(seed), fp, blob, _utcnow()),
+            (scenario_digest, protocol, int(seed), fp, _dumps(payload), _utcnow()),
         )
-        self._conn.commit()
+
+    def put_many(
+        self,
+        cells: Iterable[tuple[str, str, int, Any]],
+        fingerprint: str | None = None,
+    ) -> int:
+        """Insert a batch of ``(digest, protocol, seed, payload)`` cells
+        in **one** transaction; returns the number written.
+
+        Commit-per-cell is one fsync per cell -- fine for a figure-sized
+        grid, ruinous at million-cell scale.  The batch commits atomically:
+        a crash (or an unpicklable payload) anywhere in the middle rolls
+        the whole batch back, so a reader never sees a partial batch.
+        """
+        fp = fingerprint if fingerprint is not None else code_fingerprint()
+        n = 0
+        conn = self._transaction()
+        try:
+            for digest, protocol, seed, payload in cells:
+                conn.execute(
+                    "INSERT OR REPLACE INTO results"
+                    " (scenario_digest, protocol, seed, code_fingerprint,"
+                    "  payload, created_at)"
+                    " VALUES (?, ?, ?, ?, ?, ?)",
+                    (digest, protocol, int(seed), fp, _dumps(payload), _utcnow()),
+                )
+                n += 1
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        conn.execute("COMMIT")
+        return n
 
     def contains(
         self, scenario_digest: str, protocol: str, seed: int, fingerprint: str | None = None
@@ -187,10 +308,267 @@ class ResultStore:
             " ORDER BY scenario_digest, protocol, seed"
         )
 
+    # -- the lease queue (repro.serve's coordination substrate) ------------
+
+    def enqueue_jobs(
+        self,
+        campaign: str,
+        entries: Iterable[tuple[int, str, str, int, Any]],
+        fingerprint: str | None = None,
+    ) -> int:
+        """Enqueue planned cells ``(job_index, digest, protocol, seed, job)``.
+
+        ``INSERT OR IGNORE``: re-enqueueing after a coordinator restart
+        leaves existing rows -- including ones a worker currently holds
+        -- untouched, so in-flight work survives the restart.  Returns
+        the number of rows actually inserted.
+        """
+        fp = fingerprint if fingerprint is not None else code_fingerprint()
+        n = 0
+        conn = self._transaction()
+        try:
+            for job_index, digest, protocol, seed, job in entries:
+                cur = conn.execute(
+                    "INSERT OR IGNORE INTO leases"
+                    " (campaign, scenario_digest, protocol, seed, code_fingerprint,"
+                    "  job_index, job, enqueued_at)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        campaign,
+                        digest,
+                        protocol,
+                        int(seed),
+                        fp,
+                        int(job_index),
+                        _dumps(job),
+                        _utcnow(),
+                    ),
+                )
+                n += cur.rowcount
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        conn.execute("COMMIT")
+        return n
+
+    def lease_cells(
+        self,
+        campaign: str,
+        worker: str,
+        n: int,
+        ttl_s: float,
+        fingerprint: str | None = None,
+        now: float | None = None,
+    ) -> list[LeasedCell]:
+        """Atomically claim up to *n* cells for *worker* (TTL seconds).
+
+        Grants pending cells plus any whose lease has expired (the dead
+        worker's tail is stolen automatically).  Backpressure-aware
+        chunking: while the queue is deep a worker gets its full batch,
+        but once fewer than ``2 * n`` cells remain the grant shrinks to
+        half the remainder (floor 1), so the tail spreads across every
+        live worker instead of sitting in one slow worker's chunk.
+
+        Only rows enqueued under the caller's *fingerprint* are granted:
+        a worker running different code must not compute cells addressed
+        to another build.
+        """
+        fp = fingerprint if fingerprint is not None else code_fingerprint()
+        t = time.time() if now is None else now
+        conn = self._transaction()
+        try:
+            available = conn.execute(
+                "SELECT COUNT(*) FROM leases WHERE campaign=? AND code_fingerprint=?"
+                " AND (state='pending' OR (state='leased' AND lease_expires_at < ?))",
+                (campaign, fp, t),
+            ).fetchone()[0]
+            if available == 0:
+                conn.execute("COMMIT")
+                return []
+            grant = int(n) if available >= 2 * n else max(1, available // 2)
+            rows = conn.execute(
+                "SELECT job_index, scenario_digest, protocol, seed, job, attempts"
+                " FROM leases WHERE campaign=? AND code_fingerprint=?"
+                " AND (state='pending' OR (state='leased' AND lease_expires_at < ?))"
+                " ORDER BY job_index LIMIT ?",
+                (campaign, fp, t, grant),
+            ).fetchall()
+            leased = []
+            for job_index, digest, protocol, seed, blob, attempts in rows:
+                conn.execute(
+                    "UPDATE leases SET state='leased', worker=?, lease_expires_at=?,"
+                    " attempts=attempts+1"
+                    " WHERE campaign=? AND scenario_digest=? AND protocol=? AND seed=?"
+                    " AND code_fingerprint=?",
+                    (worker, t + ttl_s, campaign, digest, protocol, seed, fp),
+                )
+                leased.append(
+                    LeasedCell(
+                        campaign=campaign,
+                        job_index=job_index,
+                        scenario_digest=digest,
+                        protocol=protocol,
+                        seed=seed,
+                        fingerprint=fp,
+                        job=_loads(blob),
+                        attempts=int(attempts) + 1,
+                    )
+                )
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        conn.execute("COMMIT")
+        return leased
+
+    def renew_leases(
+        self, campaign: str, worker: str, ttl_s: float, now: float | None = None
+    ) -> int:
+        """Extend every live lease *worker* holds; the heartbeat."""
+        t = time.time() if now is None else now
+        cur = self._conn.execute(
+            "UPDATE leases SET lease_expires_at=?"
+            " WHERE campaign=? AND worker=? AND state='leased'",
+            (t + ttl_s, campaign, worker),
+        )
+        return cur.rowcount
+
+    def release_leases(self, campaign: str, worker: str) -> int:
+        """Hand back every cell *worker* holds (graceful shutdown)."""
+        cur = self._conn.execute(
+            "UPDATE leases SET state='pending', worker=NULL, lease_expires_at=NULL"
+            " WHERE campaign=? AND worker=? AND state='leased'",
+            (campaign, worker),
+        )
+        return cur.rowcount
+
+    def reclaim_expired(self, campaign: str, now: float | None = None) -> int:
+        """Reset expired leases to pending; returns cells reclaimed.
+
+        ``lease_cells`` already steals expired cells directly, so this is
+        the coordinator's explicit accounting sweep -- the number it
+        returns is what the campaign stream reports as reclamations.
+        """
+        t = time.time() if now is None else now
+        cur = self._conn.execute(
+            "UPDATE leases SET state='pending', worker=NULL, lease_expires_at=NULL"
+            " WHERE campaign=? AND state='leased' AND lease_expires_at < ?",
+            (campaign, t),
+        )
+        return cur.rowcount
+
+    def complete_cells(
+        self,
+        campaign: str,
+        items: Sequence[tuple[str, str, int, Any]],
+        fingerprint: str | None = None,
+        worker: str | None = None,
+    ) -> int:
+        """Commit finished cells AND mark their leases done -- one transaction.
+
+        *items* is ``[(digest, protocol, seed, payload), ...]``.  The
+        result insert and the queue transition are atomic: a worker
+        killed anywhere either contributes the whole batch (results
+        stored, leases done) or none of it (leases expire and the cells
+        are recomputed).  There is no window where a result exists
+        without its lease marked done or vice versa.
+        """
+        fp = fingerprint if fingerprint is not None else code_fingerprint()
+        n = 0
+        conn = self._transaction()
+        try:
+            for digest, protocol, seed, payload in items:
+                conn.execute(
+                    "INSERT OR REPLACE INTO results"
+                    " (scenario_digest, protocol, seed, code_fingerprint,"
+                    "  payload, created_at)"
+                    " VALUES (?, ?, ?, ?, ?, ?)",
+                    (digest, protocol, int(seed), fp, _dumps(payload), _utcnow()),
+                )
+                conn.execute(
+                    "UPDATE leases SET state='done', worker=?, lease_expires_at=NULL,"
+                    " completed_at=?"
+                    " WHERE campaign=? AND scenario_digest=? AND protocol=? AND seed=?"
+                    " AND code_fingerprint=?",
+                    (worker, _utcnow(), campaign, digest, protocol, int(seed), fp),
+                )
+                n += 1
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        conn.execute("COMMIT")
+        return n
+
+    def done_cells(
+        self, campaign: str, fingerprint: str | None = None
+    ) -> list[tuple[int, str, str, int]]:
+        """Completed queue entries ``(job_index, digest, protocol, seed)``
+        in planned-job order -- what the coordinator collects and merges."""
+        fp = fingerprint if fingerprint is not None else code_fingerprint()
+        return [
+            (int(ji), d, p, int(s))
+            for ji, d, p, s in self._conn.execute(
+                "SELECT job_index, scenario_digest, protocol, seed FROM leases"
+                " WHERE campaign=? AND code_fingerprint=? AND state='done'"
+                " ORDER BY job_index",
+                (campaign, fp),
+            )
+        ]
+
+    def queue_counts(self, campaign: str, now: float | None = None) -> dict[str, int]:
+        """Queue shape: pending/leased/expired/done/total for *campaign*."""
+        t = time.time() if now is None else now
+        counts = {"pending": 0, "leased": 0, "done": 0}
+        for state, n in self._conn.execute(
+            "SELECT state, COUNT(*) FROM leases WHERE campaign=? GROUP BY state",
+            (campaign,),
+        ):
+            counts[state] = n
+        expired = self._conn.execute(
+            "SELECT COUNT(*) FROM leases WHERE campaign=? AND state='leased'"
+            " AND lease_expires_at < ?",
+            (campaign, t),
+        ).fetchone()[0]
+        counts["expired"] = expired
+        counts["total"] = counts["pending"] + counts["leased"] + counts["done"]
+        return counts
+
+    def queue_workers(self, campaign: str) -> dict[str, dict[str, int]]:
+        """Per-worker queue view: cells currently leased / completed."""
+        workers: dict[str, dict[str, int]] = {}
+        for worker, n in self._conn.execute(
+            "SELECT worker, COUNT(*) FROM leases WHERE campaign=? AND state='leased'"
+            " AND worker IS NOT NULL GROUP BY worker",
+            (campaign,),
+        ):
+            workers.setdefault(worker, {"leased": 0, "done": 0})["leased"] = n
+        for worker, n in self._conn.execute(
+            "SELECT worker, COUNT(*) FROM leases WHERE campaign=? AND state='done'"
+            " AND worker IS NOT NULL GROUP BY worker",
+            (campaign,),
+        ):
+            workers.setdefault(worker, {"leased": 0, "done": 0})["done"] = n
+        return workers
+
+    def campaigns(self) -> list[tuple[str, int]]:
+        """Every campaign with queue rows, and how many."""
+        return [
+            (c, int(n))
+            for c, n in self._conn.execute(
+                "SELECT campaign, COUNT(*) FROM leases GROUP BY campaign"
+                " ORDER BY campaign"
+            )
+        ]
+
+    def clear_campaign(self, campaign: str) -> int:
+        """Drop *campaign*'s queue rows (results are never touched)."""
+        cur = self._conn.execute("DELETE FROM leases WHERE campaign=?", (campaign,))
+        return cur.rowcount
+
     # -- maintenance -------------------------------------------------------
 
     def stats(self) -> dict[str, Any]:
-        """Row/fingerprint/byte totals -- surfaced by ``repro-mac sweep``."""
+        """Cell/fingerprint/byte totals plus per-protocol and
+        per-fingerprint breakdowns -- ``repro-mac store stats``."""
         n_rows = self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
         n_fps = self._conn.execute(
             "SELECT COUNT(DISTINCT code_fingerprint) FROM results"
@@ -202,13 +580,39 @@ class ResultStore:
         total_hits = self._conn.execute(
             "SELECT COALESCE(SUM(hits), 0) FROM results"
         ).fetchone()[0]
+        by_protocol = {
+            proto: int(n)
+            for proto, n in self._conn.execute(
+                "SELECT protocol, COUNT(*) FROM results GROUP BY protocol"
+                " ORDER BY protocol"
+            )
+        }
+        by_fingerprint = {
+            fp: int(n)
+            for fp, n in self._conn.execute(
+                "SELECT code_fingerprint, COUNT(*) FROM results"
+                " GROUP BY code_fingerprint ORDER BY COUNT(*) DESC"
+            )
+        }
+        db_bytes = None
+        if self.path != ":memory:":
+            try:
+                db_bytes = os.path.getsize(self.path)
+            except OSError:
+                db_bytes = None
+        queue_rows = self._conn.execute("SELECT COUNT(*) FROM leases").fetchone()[0]
         return {
             "path": self.path,
             "schema_version": self.SCHEMA_VERSION,
             "n_results": n_rows,
             "n_fingerprints": n_fps,
             "payload_bytes": payload_bytes,
+            "db_bytes": db_bytes,
             "total_hits": total_hits,
+            "by_protocol": by_protocol,
+            "by_fingerprint": by_fingerprint,
+            "queue_rows": queue_rows,
+            "campaigns": dict(self.campaigns()),
         }
 
     def prune(self, keep_fingerprint: str | None = None) -> int:
@@ -216,16 +620,22 @@ class ResultStore:
 
         Stale rows are *correct* for the code that wrote them but dead
         weight for the current build -- prune reclaims the space without
-        touching live cells.
+        touching live cells.  Queue rows addressed to stale fingerprints
+        go with them (no current worker could ever lease them).
         """
         fp = keep_fingerprint if keep_fingerprint is not None else code_fingerprint()
-        cur = self._conn.execute(
-            "DELETE FROM results WHERE code_fingerprint != ?", (fp,)
-        )
-        self._conn.commit()
+        conn = self._transaction()
+        try:
+            cur = conn.execute(
+                "DELETE FROM results WHERE code_fingerprint != ?", (fp,)
+            )
+            conn.execute("DELETE FROM leases WHERE code_fingerprint != ?", (fp,))
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        conn.execute("COMMIT")
         return cur.rowcount
 
     def vacuum(self) -> None:
         """Compact the database file after eviction."""
         self._conn.execute("VACUUM")
-        self._conn.commit()

@@ -510,3 +510,140 @@ class TestOneLineErrors:
         assert code == 2
         err = capsys.readouterr().err
         assert err.startswith("repro-mac: error: no telemetry stream")
+
+
+class TestServeWorkSubcommands:
+    """The distributed campaign service CLI (ISSUE 9).
+
+    The full coordinator + spawned-worker path is exercised by the CI
+    serve-smoke job; here we pin the parsers, the user-error paths, and
+    the no-worker case (serving a fully warm store).
+    """
+
+    def test_serve_parser_defaults(self):
+        from repro.cli import build_serve_parser
+
+        args = build_serve_parser().parse_args(["--store", "s.sqlite"])
+        assert args.store == "s.sqlite"
+        assert args.workers == 0
+        assert args.lease_ttl == 30.0
+        assert args.wait_timeout is None
+        assert args.name == "serve"
+        assert args.campaign is None
+
+    def test_serve_requires_store(self):
+        from repro.cli import build_serve_parser
+
+        with pytest.raises(SystemExit):
+            build_serve_parser().parse_args([])
+
+    def test_work_parser_requires_store_and_campaign(self):
+        from repro.cli import build_work_parser
+
+        with pytest.raises(SystemExit):
+            build_work_parser().parse_args(["--store", "s.sqlite"])
+        args = build_work_parser().parse_args(
+            ["--store", "s.sqlite", "--campaign", "c"]
+        )
+        assert args.commit_every == 1
+        assert args.idle_timeout is None
+
+    def test_work_missing_store_is_a_user_error(self, capsys):
+        code = main(["work", "--store", "missing.sqlite", "--campaign", "c"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-mac: error: no results store")
+
+    def test_serve_on_warm_store_needs_no_workers(self, tmp_path, capsys):
+        """A sweep warms the store; serve over the same grid merges pure
+        hits -- the whole CLI path without spawning a single worker."""
+        grid = [
+            "--axis", "nodes", "--values", "12,16",
+            "--protocols", "BMMM,LAMM", "--seeds", "2", "--horizon", "500",
+        ]
+        store = str(tmp_path / "store.sqlite")
+        assert main(
+            ["sweep", *grid, "--jobs", "1", "--store", store,
+             "--name", "warm", "--out", str(tmp_path)]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["serve", *grid, "--store", store, "--wait-timeout", "5",
+             "--name", "served", "--out", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "8 cells served, 0 computed" in out
+        assert "campaign served" in out and "0 leases reclaimed" in out
+        a = json.loads((tmp_path / "warm.json").read_text())
+        b = json.loads((tmp_path / "served.json").read_text())
+        assert json.dumps(a["points"], sort_keys=True) == json.dumps(
+            b["points"], sort_keys=True
+        )
+
+    def test_serve_stall_is_a_user_error(self, tmp_path, capsys):
+        code = main(
+            ["serve", "--store", str(tmp_path / "s.sqlite"), "--values", "12",
+             "--protocols", "BMMM", "--seeds", "1", "--horizon", "400",
+             "--wait-timeout", "0.2", "--out", str(tmp_path)]
+        )
+        assert code == 2
+        assert "stalled" in capsys.readouterr().err
+
+
+class TestStoreSubcommand:
+    def _warm_store(self, tmp_path):
+        from repro.store.db import ResultStore
+
+        path = tmp_path / "s.sqlite"
+        with ResultStore(path) as store:
+            store.put("d" * 64, "BMMM", 0, {"x": 1}, fingerprint="f" * 64)
+            store.put("d" * 64, "LAMM", 0, {"x": 2}, fingerprint="f" * 64)
+            store.put("d" * 64, "BMMM", 1, {"x": 3}, fingerprint="0" * 64)
+        return path
+
+    def test_store_parser_actions(self):
+        from repro.cli import build_store_parser
+
+        args = build_store_parser().parse_args(["stats", "s.sqlite", "--json"])
+        assert args.action == "stats" and args.json
+        with pytest.raises(SystemExit):
+            build_store_parser().parse_args(["explode", "s.sqlite"])
+
+    def test_stats_reports_breakdown(self, tmp_path, capsys):
+        path = self._warm_store(tmp_path)
+        assert main(["store", "stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "cells: 3 across 2 fingerprint(s)" in out
+        assert "BMMM=2" in out and "LAMM=1" in out
+        assert "queue: empty" in out
+
+    def test_stats_json(self, tmp_path, capsys):
+        path = self._warm_store(tmp_path)
+        assert main(["store", "stats", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_results"] == 3
+        assert payload["by_protocol"] == {"BMMM": 2, "LAMM": 1}
+
+    def test_prune_with_vacuum(self, tmp_path, capsys):
+        path = self._warm_store(tmp_path)
+        code = main(
+            ["store", "prune", str(path), "--keep-fingerprint", "f" * 64,
+             "--vacuum"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[pruned 1 stale-fingerprint cell(s)]" in out
+        assert "[vacuum:" in out
+
+    def test_vacuum_reports_sizes(self, tmp_path, capsys):
+        path = self._warm_store(tmp_path)
+        assert main(["store", "vacuum", str(path)]) == 0
+        assert "[vacuum:" in capsys.readouterr().out
+
+    def test_missing_store_is_a_user_error(self, capsys):
+        code = main(["store", "stats", "missing.sqlite"])
+        assert code == 2
+        assert capsys.readouterr().err.startswith(
+            "repro-mac: error: no results store"
+        )
