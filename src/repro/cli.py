@@ -838,6 +838,13 @@ def build_bench_kernel_parser() -> argparse.ArgumentParser:
         help="basename for the BENCH_<name>.json record (default: kernel)",
     )
     parser.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help=(
+            "run each case N times and record the fastest sample "
+            "(best-of-N; wall-clock noise is one-sided, default 1)"
+        ),
+    )
+    parser.add_argument(
         "--out", default="results", metavar="DIR",
         help="output directory (default results/)",
     )
@@ -853,7 +860,10 @@ def _bench_kernel_main(argv: list[str]) -> int:
 
     args = build_bench_kernel_parser().parse_args(argv)
     record = kernel_bench_record(
-        args.name, churn_events=args.churn_events, protocol=args.protocol
+        args.name,
+        churn_events=args.churn_events,
+        protocol=args.protocol,
+        repeat=args.repeat,
     )
     print(format_kernel_bench(record))
     path = save_kernel_bench(record, args.out)

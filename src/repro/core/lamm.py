@@ -12,9 +12,13 @@ where ``MCS(S)`` is a (minimum) cover set of the working set and
 contained in the union of the ACKers' disks (Theorem 3, checked with the
 angle-based test of Theorem 4).  Receivers outside the cover set are never
 polled: the sender *infers* their collision-free reception from geometry.
-That inference is exact in-model (unit-disk interference, collisions the
-only error source) -- the integration tests verify it against the channel's
-ground truth.
+That inference is exact in the theorem's model (unit-disk interference,
+collision = loss for every station in range) -- the integration tests
+verify it against the channel's ground truth on a pure collision channel.
+DS capture sits outside that model: an ACKer may capture the DATA through
+interference that silences an inferred member, so with capture enabled the
+inference can leak even with true locations (counted by
+``lamm.coverage_violations`` exactly like the location-error case).
 
 Location sources
 ----------------
@@ -162,10 +166,12 @@ class LammMac(MacBase):
                 counters.inc(f"{pfx}.update_shrinks", node=self.node_id)
                 counters.inc(f"{pfx}.inferred", node=self.node_id, n=len(inferred))
                 # Theorem 3 is exact under the model it assumes (true
-                # positions, unit-disk loss).  Check each inference against
-                # the channel's ground truth: a member declared covered that
-                # never decoded this DATA frame is a coverage violation --
-                # the correctness cost of location error / bursty loss.
+                # positions, pure collision loss).  Check each inference
+                # against the channel's ground truth: a member declared
+                # covered that never decoded this DATA frame is a coverage
+                # violation -- the correctness cost of location error,
+                # bursty loss, or an ACKer capturing through interference
+                # the inferred member lost to.
                 violated = inferred - self.channel.stats.data_receipts.get(
                     req.msg_id, set()
                 )

@@ -27,6 +27,13 @@ per case, so a regression can be attributed to the layer that caused it:
     per-receiver rounds burns hundreds of provably idle backoff slots.
     The pre-fast-path machine stepped the kernel once per slot here; the
     fast path collapses each solo phase to a handful of events.
+``dense_contention``
+    Many stations *simultaneously* in backoff with CW = 1024 (20x the
+    contention_heavy arrival rate).  Before commit horizons, every
+    contender's pending mid-slot sample truncated every other
+    contender's skip, so concurrency silently degraded the fast path
+    back toward per-slot stepping; with published commit bounds the
+    skipper stays event-scaled.  This case pins that concurrent win.
 ``observer_overhead``
     The price of looking: the same traffic-heavy run three times --
     unobserved (emit sites pay only the ``obs.active`` guard), with a
@@ -131,6 +138,12 @@ NETWORK_CASES: dict[str, dict] = {
         "message_rate": 0.00001,
         "cw": 1024,
     },
+    "dense_contention": {
+        "n_nodes": 50,
+        "horizon": 20_000,
+        "message_rate": 0.0002,
+        "cw": 1024,
+    },
 }
 
 
@@ -210,17 +223,55 @@ def bench_observer_overhead(*, protocol: str = "BMMM", seed: int = 0) -> dict:
     }
 
 
+#: Per-case throughput field the best-of-N selection maximises.
+_RATE_KEYS = ("events_per_sec", "slots_per_sec", "bare_slots_per_sec")
+
+
+def _best_of(fn: Callable[[], dict], repeat: int) -> dict:
+    """Run *fn* *repeat* times; keep the fastest sample.
+
+    Wall-clock benchmarks are noisy downward only -- scheduler preemption
+    and cache pollution make runs slower, never faster -- so the best of N
+    is the least-noisy estimate of the code's true speed.  The kept sample
+    carries the total measurement cost in ``measured_wall_clock_s``.
+    """
+    samples = [fn() for _ in range(max(1, repeat))]
+
+    def rate(sample: dict) -> float:
+        for key in _RATE_KEYS:
+            if sample.get(key) is not None:
+                return sample[key]
+        return 0.0
+
+    best = max(samples, key=rate)
+    best["measured_wall_clock_s"] = sum(s["wall_clock_s"] for s in samples)
+    return best
+
+
 def kernel_bench_record(
-    name: str = "kernel", *, churn_events: int = 200_000, protocol: str = "BMMM"
+    name: str = "kernel",
+    *,
+    churn_events: int = 200_000,
+    protocol: str = "BMMM",
+    repeat: int = 1,
 ) -> dict:
-    """The ``BENCH_kernel.json`` payload: every case, provenance-stamped."""
+    """The ``BENCH_kernel.json`` payload: every case, provenance-stamped.
+
+    *repeat* > 1 runs each case that many times and records the fastest
+    sample per case (see :func:`_best_of`) -- the CI perf gate uses this
+    to keep shared-runner noise out of the regression signal.
+    """
     cases: dict[str, dict] = {
-        "timeout_churn": bench_timeout_churn(churn_events),
-        "sleep_churn": bench_sleep_churn(churn_events),
+        "timeout_churn": _best_of(lambda: bench_timeout_churn(churn_events), repeat),
+        "sleep_churn": _best_of(lambda: bench_sleep_churn(churn_events), repeat),
     }
     for case in NETWORK_CASES:
-        cases[case] = bench_network_case(case, protocol=protocol)
-    cases["observer_overhead"] = bench_observer_overhead(protocol=protocol)
+        cases[case] = _best_of(
+            lambda case=case: bench_network_case(case, protocol=protocol), repeat
+        )
+    cases["observer_overhead"] = _best_of(
+        lambda: bench_observer_overhead(protocol=protocol), repeat
+    )
     return {
         "name": name,
         "kind": "kernel-bench",
@@ -230,7 +281,8 @@ def kernel_bench_record(
         },
         "churn_events": churn_events,
         "protocol": protocol,
-        "wall_clock_s": sum(c["wall_clock_s"] for c in cases.values()),
+        "repeat": max(1, repeat),
+        "wall_clock_s": sum(c["measured_wall_clock_s"] for c in cases.values()),
         "cases": cases,
     }
 

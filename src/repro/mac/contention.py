@@ -35,17 +35,32 @@ read the same idle medium the station sees right now.  The contender
 therefore burns all those samples (DIFS slots, then backoff decrements,
 then the final pre-transmit check) in a single pooled timeout.
 
-Whenever another event sits inside the skip window -- a frame delivery,
-another contender's wake, a traffic arrival -- the skip is truncated to
-the samples provably idle and the machine re-evaluates at the next
-sample, which degrades gracefully to exact per-slot stepping around
-busy transitions and under lock-step contention.  The RNG discipline is
-untouched (one backoff draw per phase; in ``resume_backoff=False`` mode
-one redraw per busy sample, exactly as before), and busy samples still
-go through :meth:`Contender._next_sample_point`, so transmit times,
-backoff residues and draw order are bit-identical to the reference
-per-slot machine.  This is pinned by a Hypothesis side-by-side property
-(``tests/mac/test_contention_fastpath.py``) and by the repo-wide
+Whenever a *foreign* event sits inside the skip window -- a frame
+delivery, a traffic arrival, a timeout -- the skip is truncated to the
+samples provably idle and the machine re-evaluates at the next sample,
+which degrades gracefully to exact per-slot stepping around busy
+transitions.  Other contenders' pending mid-slot samples do *not*
+truncate the skip: each in-phase contender publishes a **commit
+horizon** -- the earliest instant it could possibly transmit should the
+medium stay idle (``now + remaining DIFS + backoff + 0.5``) -- through
+:meth:`Environment.publish_horizon`, and peers skip up to
+``min(published bounds, next non-sample event)`` via
+:meth:`Environment.commit_horizon`.  Sample wake-ups live in the
+kernel's sample lane (:meth:`Environment.sample_sleep`) so
+:meth:`Environment.peek_foreign` can look past them; the final
+pre-transmit sleep stays in the main lane because it *is* the commit.
+The ordering-safety argument (no peer commit can land inside a skip
+window, and same-instant commits keep their pinned order) is written
+out in docs/simulator.md "Fast paths".
+
+The RNG discipline is untouched (one backoff draw per phase; in
+``resume_backoff=False`` mode one redraw per busy sample, exactly as
+before), and busy samples still go through
+:meth:`Contender._next_sample_point`, so transmit times, backoff
+residues and draw order are bit-identical to the reference per-slot
+machine.  This is pinned by Hypothesis side-by-side properties -- solo
+and arbitrary N-contender interference patterns
+(``tests/mac/test_contention_fastpath.py``) -- and by the repo-wide
 ``repro-mac gate`` regression baseline.
 """
 
@@ -121,6 +136,8 @@ class Contender:
         self.params = params or ContentionParams()
         #: Total contention phases executed by this node (metrics).
         self.phases_executed = 0
+        #: Commit-horizon registry key (see :meth:`Environment.publish_horizon`).
+        self._hkey = env.horizon_key()
 
     # -- helpers ---------------------------------------------------------------
 
@@ -156,18 +173,29 @@ class Contender:
         self.radio.channel.counters.inc("contention_phases", node=node)
         obs = env.obs
         started = env.now
+        # Hot-loop bindings: the attempt's BEB window is loop-invariant
+        # (attempt never changes within one phase), and attribute lookups
+        # on self/env are hoisted out of the per-sample path.
+        window = params.window(attempt)
+        randrange = self.rng.randrange
+        slot_was_busy = self._slot_was_busy
+        sleep = env.sleep
+        sample_sleep = env.sample_sleep
+        hkey = self._hkey
+        horizons = env._horizons
+        resume_backoff = params.resume_backoff
 
         # Align to the next mid-slot sampling point.
         frac = env.now - math.floor(env.now)
-        yield env.sleep((0.5 - frac) % 1.0)
+        yield sleep((0.5 - frac) % 1.0)
 
-        backoff = self.rng.randrange(params.window(attempt))
+        backoff = randrange(window)
         if obs.active:
             obs.emit(
                 "backoff",
                 node=node,
                 attempt=attempt,
-                window=params.window(attempt),
+                window=window,
                 backoff=backoff,
             )
         # The DIFS run, the backoff countdown and the final pre-transmit
@@ -177,56 +205,91 @@ class Contender:
         # module docstring); the busy branch is byte-for-byte the
         # reference machine's (reset DIFS, redraw when not resuming, skip
         # over the known-busy span).
+        #
+        # Sample wake-ups go through ``env.sample_sleep`` with a published
+        # commit horizon covering them: before every tagged sleep, the
+        # contender publishes its commit-if-idle instant (the exact time
+        # it will transmit should the medium stay idle; any busy sample
+        # only pushes the commit later *from the peers' point of view at
+        # read time* -- see the ordering-safety argument in
+        # docs/simulator.md).  Peers may then skip past this contender's
+        # pending samples up to that bound.  The final pre-transmit sleeps
+        # stay in the main lane: they *are* the commit.
         idle_run = 0
-        while True:
-            if self._slot_was_busy():
-                idle_run = 0
-                if not params.resume_backoff:
-                    backoff = self.rng.randrange(params.window(attempt))
-                    if obs.active:
-                        obs.emit(
-                            "backoff",
-                            node=node,
-                            attempt=attempt,
-                            window=params.window(attempt),
-                            backoff=backoff,
-                        )
-                yield env.sleep(self._next_sample_point())
-                continue
+        try:
+            while True:
+                if slot_was_busy():
+                    idle_run = 0
+                    if not resume_backoff:
+                        backoff = randrange(window)
+                        if obs.active:
+                            obs.emit(
+                                "backoff",
+                                node=node,
+                                attempt=attempt,
+                                window=window,
+                                backoff=backoff,
+                            )
+                    delay = self._next_sample_point()
+                    # Commit-if-idle from the landing sample: a full DIFS
+                    # run plus the (frozen or freshly redrawn) backoff,
+                    # then the half-slot final check.
+                    horizons[hkey] = env.now + delay + difs_slots + backoff + 0.5
+                    yield sample_sleep(delay, hkey)
+                    continue
 
-            # Idle samples still required before the station may transmit:
-            # the rest of the DIFS run plus the whole remaining backoff.
-            needed = (difs_slots - idle_run) + backoff
-            if needed == 0:
-                # Final check passed: transmit at the next slot boundary.
-                yield env.sleep(0.5)
-                break
+                # Idle samples still required before the station may
+                # transmit: the rest of the DIFS run plus the whole
+                # remaining backoff.
+                needed = (difs_slots - idle_run) + backoff
+                if needed == 0:
+                    # Final check passed: transmit at the next slot
+                    # boundary.  Main lane: this wake commits.
+                    yield sleep(0.5)
+                    break
 
-            # Samples guaranteed idle from here: nothing can start a
-            # transmission or set a NAV before the next scheduled event,
-            # so every sample at now, now+1, ... strictly below peek()
-            # reads the medium exactly as this (idle) one did.  The
-            # current sample is always safe -- it just happened.
-            horizon = env.peek()
-            span = horizon - env.now
-            if span > needed:
-                # All remaining samples *and* the final pre-transmit check
-                # fall inside the quiet window: one timeout to the slot
-                # boundary wins the phase outright.
-                yield env.sleep(needed + 0.5)
-                break
+                # Samples guaranteed idle from here: no *foreign* event --
+                # and no peer commit, per the published bounds -- can
+                # change the world before ``horizon``, so every sample at
+                # now, now+1, ... strictly below it reads the medium
+                # exactly as this (idle) one did.  The current sample is
+                # always safe -- it just happened.
+                horizon = env.commit_horizon(hkey)
+                span = horizon - env.now
+                if span > needed + 0.5:
+                    # The commit instant itself lies *strictly* inside the
+                    # quiet window, so this transmission is provably the
+                    # only commit at that instant (a peer tying on it
+                    # would need a bound <= the commit time): one timeout
+                    # to the slot boundary wins the phase outright.  Main
+                    # lane: this wake commits.  ``span == needed + 0.5``
+                    # (commit exactly at the horizon -- a possible
+                    # same-instant tie) instead batches to the final
+                    # sample below, so tied commits are all scheduled at
+                    # T - 0.5 in rank order.
+                    yield sleep(needed + 0.5)
+                    break
 
-            # Consume the provably idle prefix (>= 1 sample) in one jump,
-            # then re-evaluate at the first sample an event could touch.
-            guaranteed = math.ceil(span) if span > 1.0 else 1
-            batch = needed if needed < guaranteed else guaranteed
-            difs_part = difs_slots - idle_run
-            if batch < difs_part:
-                idle_run += batch
-            else:
-                idle_run = difs_slots
-                backoff -= batch - difs_part
-            yield env.sleep(float(batch))
+                # Consume the provably idle prefix (>= 1 sample) in one
+                # jump, then re-evaluate at the first sample an event (or
+                # a peer commit) could touch.
+                guaranteed = math.ceil(span) if span > 1.0 else 1
+                batch = needed if needed < guaranteed else guaranteed
+                difs_part = difs_slots - idle_run
+                if batch < difs_part:
+                    idle_run += batch
+                else:
+                    idle_run = difs_slots
+                    backoff -= batch - difs_part
+                # Commit-if-idle is invariant along an idle run:
+                # now + needed + 0.5 == landing + remaining + 0.5.
+                horizons[hkey] = env.now + needed + 0.5
+                yield sample_sleep(float(batch), hkey)
+        finally:
+            # Phase exit (win, timeout upstream, interrupt, process death):
+            # withdraw the bound so peers stop truncating their skips on a
+            # contender that is no longer sampling.
+            horizons.pop(hkey, None)
 
         if obs.active:
             obs.emit(

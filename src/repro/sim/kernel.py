@@ -443,11 +443,23 @@ class Environment:
     def __init__(self, initial_time: float = 0):
         self._now = initial_time
         self._queue: list[tuple[float, int, int, Event]] = []
+        #: The sample lane: carrier-sense wake-ups scheduled via
+        #: :meth:`sample_sleep`.  Kept out of :attr:`_queue` so
+        #: :meth:`peek_foreign` can report the next *world-changing* event
+        #: without scanning past pending mid-slot samples.  Both lanes share
+        #: one ``_eid`` counter, so the merged dispatch order is exactly the
+        #: order a single queue would produce.
+        self._sample_queue: list[tuple[float, int, int, int, Event]] = []
         self._eid = 0
         self._active: Process | None = None
         self._unhandled: BaseException | None = None
         #: Free list of retired :meth:`sleep` timeouts awaiting reuse.
         self._timeout_pool: list[Timeout] = []
+        #: Commit-horizon registry: opaque key -> earliest instant that
+        #: registrant could possibly begin a transmission (see
+        #: :meth:`publish_horizon`).  Read by :meth:`commit_horizon`.
+        self._horizons: dict[int, float] = {}
+        self._next_horizon_key = 0
         #: Observability event bus (see :mod:`repro.obs.events`).  Created
         #: once per environment and never replaced, so instrumented layers
         #: may cache the reference.
@@ -506,6 +518,54 @@ class Environment:
         timeout._recycle = True
         return timeout
 
+    def sample_sleep(self, delay: float, rank: int, priority: int = PRIORITY_NORMAL) -> Timeout:
+        """A pooled timeout scheduled into the *sample lane*.
+
+        Same clock as :meth:`sleep`, but (a) the event is invisible to
+        :meth:`peek_foreign`, and (b) same-instant sample wake-ups are
+        ordered by *rank* -- a stable per-owner key (the contender's
+        horizon key) -- instead of by scheduling history.  Rank ordering
+        is what pins same-instant commit order: contenders tying on a
+        commit instant all schedule their commit timeouts from their
+        final samples at ``T - 0.5``, so those commits inherit the rank
+        order regardless of how each contender batched its way there.
+        Main-queue events win cross-lane ties at equal (time, priority).
+
+        Reserved for carrier-sense sample wake-ups whose callbacks cannot
+        change the simulated world before the bound their owner has
+        published via :meth:`publish_horizon` (the per-slot reference
+        machine, which never batches, needs no bound: its samples are
+        world-read-only by construction).  Scheduling a batched skip
+        without a covering published horizon voids the commit-horizon
+        safety argument (see docs/simulator.md, "Fast paths").
+        """
+        pool = self._timeout_pool
+        if pool:
+            timeout = pool.pop()
+            if delay < 0:
+                raise ValueError(f"negative delay {delay}")
+            timeout.callbacks = []
+            timeout._value = None
+            timeout._exception = None
+            timeout._scheduled = False
+            timeout.defused = False
+            timeout.delay = delay
+        else:
+            timeout = Timeout.__new__(Timeout)
+            Event.__init__(timeout, self)
+            if delay < 0:
+                raise ValueError(f"negative delay {delay}")
+            timeout._value = None
+            timeout.delay = delay
+            timeout._recycle = True
+        timeout._scheduled = True
+        self._eid += 1
+        heappush(
+            self._sample_queue,
+            (self._now + delay, priority, rank, self._eid, timeout),
+        )
+        return timeout
+
     def process(self, generator: Generator, name: str | None = None) -> Process:
         """Start *generator* as a :class:`Process`."""
         return Process(self, generator, name)
@@ -526,8 +586,61 @@ class Environment:
         heappush(self._queue, (self._now + delay, priority, self._eid, event))
 
     def peek(self) -> float:
-        """Time of the next scheduled event (``inf`` when queue is empty)."""
+        """Time of the next scheduled event (``inf`` when queues are empty)."""
+        queue = self._queue
+        squeue = self._sample_queue
+        if queue:
+            if squeue and squeue[0][0] < queue[0][0]:
+                return squeue[0][0]
+            return queue[0][0]
+        return squeue[0][0] if squeue else float("inf")
+
+    def peek_foreign(self) -> float:
+        """Time of the next *non-sample* event (``inf`` when none pending).
+
+        Sample-lane wake-ups (:meth:`sample_sleep`) are excluded: their
+        callbacks cannot change the simulated world before the bound their
+        owner published, so a contender probing for the earliest possible
+        foreign state change may look past them -- the commit-horizon fast
+        path's whole point.
+        """
         return self._queue[0][0] if self._queue else float("inf")
+
+    # -- commit-horizon registry --------------------------------------------
+
+    def horizon_key(self) -> int:
+        """A fresh opaque key for :meth:`publish_horizon` (one per owner)."""
+        self._next_horizon_key += 1
+        return self._next_horizon_key
+
+    def publish_horizon(self, key: int, bound: float) -> None:
+        """Publish *bound*: the owner of *key* promises not to begin a
+        transmission before simulated time *bound*.
+
+        Re-publishing overwrites.  The contract: at every instant, the
+        published bound must be at or below the owner's true
+        commit-if-the-medium-stays-idle time, and it may only change
+        inside the owner's own wake-up callbacks.  Bounds need *not* be
+        monotone -- a busy-wake redraw may legitimately lower one -- the
+        ordering-safety argument (docs/simulator.md, "Fast paths") closes
+        without monotonicity because any intervening busy transition is
+        itself fenced by a main-queue event.
+        """
+        self._horizons[key] = bound
+
+    def retract_horizon(self, key: int) -> None:
+        """Withdraw *key*'s bound (phase exit, busy fallback, process death)."""
+        self._horizons.pop(key, None)
+
+    def commit_horizon(self, exclude_key: int = 0) -> float:
+        """The earliest instant any *other* actor could change the world:
+        ``min`` of :meth:`peek_foreign` and every published bound except
+        *exclude_key*'s own."""
+        horizon = self._queue[0][0] if self._queue else float("inf")
+        for key, bound in self._horizons.items():
+            if bound < horizon and key != exclude_key:
+                horizon = bound
+        return horizon
 
     def step(self) -> None:
         """Process the single next event.
@@ -535,9 +648,21 @@ class Environment:
         Raises
         ------
         IndexError
-            If the queue is empty.
+            If both queues are empty.
         """
-        when, _prio, _eid, event = heappop(self._queue)
+        queue = self._queue
+        squeue = self._sample_queue
+        # Cross-lane ties at equal (time, priority) go to the main queue:
+        # sample wake-ups always observe a world in which every same-instant
+        # main event (delivery, alignment, commit) has already run.
+        if squeue and (
+            not queue or (squeue[0][0], squeue[0][1]) < (queue[0][0], queue[0][1])
+        ):
+            entry = heappop(squeue)
+        else:
+            entry = heappop(queue)
+        when = entry[0]
+        event = entry[-1]
         if when < self._now:  # pragma: no cover - guarded by Timeout's check
             raise RuntimeError("event scheduled in the past")
         self._now = when
@@ -578,16 +703,30 @@ class Environment:
         # event order and identical semantics to repeated step() calls
         # (pinned by tests/sim/test_kernel_fastpath.py).
         queue = self._queue
+        squeue = self._sample_queue
         pool = self._timeout_pool
         pool_max = self._POOL_MAX
         try:
-            while queue:
-                entry = queue[0]
+            while queue or squeue:
+                # Merge the two lanes on (time, priority); cross-lane ties go
+                # to the main queue (samples must see same-instant deliveries
+                # and commits already applied), and same-instant sample ties
+                # order by rank (see sample_sleep).  With the sample lane
+                # empty -- every workload without in-phase contenders -- the
+                # merge costs one falsy check per event.
+                if squeue and (
+                    not queue
+                    or (squeue[0][0], squeue[0][1]) < (queue[0][0], queue[0][1])
+                ):
+                    lane = squeue
+                else:
+                    lane = queue
+                entry = lane[0]
                 when = entry[0]
                 if when >= deadline:
                     break
-                heappop(queue)
-                event = entry[3]
+                heappop(lane)
+                event = entry[-1]
                 self._now = when
                 event._run_callbacks()
                 if self._unhandled is not None:
